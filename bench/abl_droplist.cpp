@@ -1,0 +1,54 @@
+// Ablation: convergence of the dropped-list gossip (paper Fig. 5).
+//
+// Runs the Table II scenario with SDSRP and tracks, at checkpoints, how
+// much of the global drop knowledge a node has: for each buffered copy,
+// d̂_i (drops visible in the node's gossiped records) versus the true
+// drop count from the registry. Also reports how many peer records the
+// average node carries.
+//
+//   ./abl_droplist [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/config/scenario.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+  sc.policy = "sdsrp";
+  sc.seed = seed;
+
+  auto world = dtn::build_world(sc);
+  dtn::Table t({"t_s", "copies", "mean d_hat", "mean true drops",
+                "coverage", "records/node"});
+  for (double checkpoint = 3000.0; checkpoint <= sc.world.duration + 1.0;
+       checkpoint += 3000.0) {
+    world->run_until(checkpoint);
+    dtn::RunningStats d_hat, d_true, records;
+    for (dtn::NodeId id = 0; id < world->node_count(); ++id) {
+      const dtn::Node& node = world->node(id);
+      records.add(static_cast<double>(node.dropped_list().known_records()));
+      for (const auto& msg : node.buffer().messages()) {
+        d_hat.add(node.dropped_list().count_drops(msg.id));
+        d_true.add(world->registry().drops(msg.id));
+      }
+    }
+    const double coverage =
+        d_true.mean() > 0.0 ? d_hat.mean() / d_true.mean() : 1.0;
+    t.add_row({checkpoint, static_cast<std::int64_t>(d_hat.count()),
+               d_hat.mean(), d_true.mean(), coverage, records.mean()});
+  }
+  t.set_precision(2);
+  t.print(std::cout);
+  std::cout << "\ncoverage = gossiped d_hat / true drops for the same "
+               "messages (1.0 = full knowledge).\n"
+            << "Note d_hat counts *nodes* that dropped; true drops counts "
+               "drop *events* — re-drops by\nthe same node are prevented "
+               "by the dropped-list receive rejection, so the two agree\n"
+               "as gossip converges.\n";
+  return 0;
+}

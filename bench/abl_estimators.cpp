@@ -1,0 +1,65 @@
+// Ablation: accuracy of SDSRP's distributed estimators against the
+// simulator's ground truth (the "centralized control channel" the paper
+// says is impractical — Section III-C).
+//
+// Runs the Table II scenario with the SDSRP policy and, at fixed sim-time
+// checkpoints, compares for every buffered copy:
+//   m̂_i (Eq. 15 spray tree)        vs  true m_i (registry)
+//   n̂_i (Eq. 14 with gossiped d̂)  vs  true n_i (registry)
+// and each node's Ê(I) against the population's observed mean.
+//
+//   ./abl_estimators [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/buffer/sdsrp_policy.hpp"
+#include "src/config/scenario.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+  sc.policy = "sdsrp";
+  sc.seed = seed;
+  sc.world.collect_intermeeting = true;
+
+  auto world = dtn::build_world(sc);
+  const dtn::SdsrpPolicy probe;
+
+  dtn::Table t({"t_s", "msgs", "mean|m_hat-m|", "mean m", "mean|n_hat-n|",
+                "mean n", "E(I)_node_mean", "E(I)_observed"});
+  for (double checkpoint = 3000.0; checkpoint <= sc.world.duration + 1.0;
+       checkpoint += 3000.0) {
+    world->run_until(checkpoint);
+
+    dtn::RunningStats m_err, n_err, m_true, n_true, node_ei;
+    for (dtn::NodeId id = 0; id < world->node_count(); ++id) {
+      const dtn::Node& node = world->node(id);
+      node_ei.add(node.intermeeting().mean_intermeeting(world->now()));
+      const dtn::PolicyContext ctx = world->ctx_for(node);
+      for (const auto& msg : node.buffer().messages()) {
+        const auto est = probe.estimates(msg, ctx);
+        const double m = world->registry().m_seen(msg.id);
+        const double n = world->registry().n_holding(msg.id);
+        m_err.add(std::abs(est.m_seen - m));
+        n_err.add(std::abs(est.n_holding - n));
+        m_true.add(m);
+        n_true.add(n);
+      }
+    }
+    dtn::RunningStats observed;
+    for (double x : world->intermeeting_samples()) observed.add(x);
+    t.add_row({checkpoint, static_cast<std::int64_t>(m_err.count()),
+               m_err.mean(), m_true.mean(), n_err.mean(), n_true.mean(),
+               node_ei.mean(), observed.empty() ? 0.0 : observed.mean()});
+  }
+  t.set_precision(2);
+  t.print(std::cout);
+  std::cout << "\nInterpretation: |m_hat-m| relative to mean m gauges the\n"
+               "Eq. 15 spray-tree estimator; |n_hat-n| additionally folds\n"
+               "in the gossiped dropped-list (Fig. 5).\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces the paper's Fig. 8 (a)-(i): delivery ratio, average
+// hopcounts, and overhead ratio as functions of initial copies, buffer
+// size, and message generation rate under the random-waypoint mobility
+// pattern (Table II parameters).
+//
+//   ./fig8_rwp [replicas] [threads] [csv_dir]
+#include <iostream>
+
+#include "bench/fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+  const std::size_t threads =
+      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 0;
+  if (argc > 3) dtn::bench::csv_dir() = argv[3];
+  dtn::ThreadPool pool(threads);
+
+  const dtn::Scenario base = dtn::Scenario::random_waypoint_paper();
+  std::cout << "Fig. 8 reproduction (random-waypoint, " << replicas
+            << " replicas/point, " << pool.size() << " threads)\n";
+
+  using namespace dtn::bench;
+  const auto a =
+      run_panel(base, "copies", copies_sweep(), set_copies, replicas, &pool);
+  print_panel_group(std::cout, "Fig8(a)", "Fig8(b)", "Fig8(c)", a);
+
+  const auto d = run_panel(base, "buffer_MB", buffer_sweep_mb(),
+                           set_buffer_mb, replicas, &pool);
+  print_panel_group(std::cout, "Fig8(d)", "Fig8(e)", "Fig8(f)", d);
+
+  const auto g = run_panel(base, "interval_lo_s", genrate_sweep_lo(),
+                           set_genrate_lo, replicas, &pool);
+  print_panel_group(std::cout, "Fig8(g)", "Fig8(h)", "Fig8(i)", g);
+  return 0;
+}

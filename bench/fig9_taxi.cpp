@@ -1,0 +1,36 @@
+// Reproduces the paper's Fig. 9 (a)-(i): the same three sweeps as Fig. 8
+// under the taxi-fleet mobility substitute for the EPFL San Francisco
+// trace (Table III parameters; see DESIGN.md §4 for the substitution).
+//
+//   ./fig9_taxi [replicas] [threads] [csv_dir]
+#include <iostream>
+
+#include "bench/fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+  const std::size_t threads =
+      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 0;
+  if (argc > 3) dtn::bench::csv_dir() = argv[3];
+  dtn::ThreadPool pool(threads);
+
+  const dtn::Scenario base = dtn::Scenario::taxi_paper();
+  std::cout << "Fig. 9 reproduction (taxi-fleet EPFL substitute, "
+            << replicas << " replicas/point, " << pool.size()
+            << " threads)\n";
+
+  using namespace dtn::bench;
+  const auto a =
+      run_panel(base, "copies", copies_sweep(), set_copies, replicas, &pool);
+  print_panel_group(std::cout, "Fig9(a)", "Fig9(b)", "Fig9(c)", a);
+
+  const auto d = run_panel(base, "buffer_MB", buffer_sweep_mb(),
+                           set_buffer_mb, replicas, &pool);
+  print_panel_group(std::cout, "Fig9(d)", "Fig9(e)", "Fig9(f)", d);
+
+  const auto g = run_panel(base, "interval_lo_s", genrate_sweep_lo(),
+                           set_genrate_lo, replicas, &pool);
+  print_panel_group(std::cout, "Fig9(g)", "Fig9(h)", "Fig9(i)", g);
+  return 0;
+}

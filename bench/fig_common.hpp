@@ -1,0 +1,127 @@
+// Shared driver for the paper's Fig. 8 / Fig. 9 panel grids: three sweeps
+// (initial copies, buffer size, message generation interval) x four buffer
+// policies x three metrics, printed as one table per panel row.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/report/sweep.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+namespace dtn::bench {
+
+inline const std::vector<std::pair<std::string, std::string>>& policies() {
+  static const std::vector<std::pair<std::string, std::string>> kPolicies = {
+      {"SprayAndWait", "fifo"},
+      {"SprayAndWait-O", "ttl-ratio"},
+      {"SprayAndWait-C", "copies-ratio"},
+      {"SDSRP", "sdsrp"},
+  };
+  return kPolicies;
+}
+
+/// Paper sweep values (Tables II & III).
+inline std::vector<double> copies_sweep() {
+  return {16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64};
+}
+inline std::vector<double> buffer_sweep_mb() {
+  return {2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0};
+}
+/// Generation-interval lower bounds; each interval is [lo, lo+5] s.
+inline std::vector<double> genrate_sweep_lo() {
+  return {10, 15, 20, 25, 30, 35, 40, 45};
+}
+
+struct PanelRow {
+  std::string x_label;
+  std::vector<double> xs;
+  /// metric_series[policy][x] for each of the three paper metrics.
+  std::vector<std::vector<double>> delivery, hops, overhead;
+};
+
+/// Applies one sweep knob to a copy of the base scenario.
+using Mutator = void (*)(Scenario&, double);
+
+inline PanelRow run_panel(const Scenario& base, const std::string& x_label,
+                          const std::vector<double>& xs, Mutator mutate,
+                          std::size_t replicas, ThreadPool* pool) {
+  PanelRow row;
+  row.x_label = x_label;
+  row.xs = xs;
+  for (const auto& [label, policy] : policies()) {
+    std::vector<SweepPoint> points;
+    points.reserve(xs.size());
+    for (double x : xs) {
+      SweepPoint p;
+      p.x = x;
+      p.scenario = base;
+      p.scenario.policy = policy;
+      mutate(p.scenario, x);
+      points.push_back(std::move(p));
+    }
+    const auto results = run_sweep(points, replicas, pool);
+    std::vector<double> d, h, o;
+    for (const auto& r : results) {
+      d.push_back(r.delivery_ratio.mean());
+      h.push_back(r.avg_hopcount.mean());
+      o.push_back(r.overhead_ratio.mean());
+    }
+    row.delivery.push_back(std::move(d));
+    row.hops.push_back(std::move(h));
+    row.overhead.push_back(std::move(o));
+  }
+  return row;
+}
+
+/// When nonempty, every panel is additionally saved to
+/// `<csv_dir>/<fig>.csv` (set from the bench binaries' third argument).
+inline std::string& csv_dir() {
+  static std::string dir;
+  return dir;
+}
+
+inline void print_panel(std::ostream& os, const std::string& fig,
+                        const PanelRow& row, const std::string& metric_name,
+                        const std::vector<std::vector<double>>& series) {
+  os << "\n== " << fig << ": " << metric_name << " vs " << row.x_label
+     << " ==\n";
+  std::vector<std::string> cols{row.x_label};
+  for (const auto& [label, _] : policies()) cols.push_back(label);
+  Table t(cols);
+  for (std::size_t i = 0; i < row.xs.size(); ++i) {
+    std::vector<Cell> cells{row.xs[i]};
+    for (const auto& s : series) cells.emplace_back(s[i]);
+    t.add_row(std::move(cells));
+  }
+  t.set_precision(3);
+  t.print(os);
+  if (!csv_dir().empty()) {
+    const std::string path = csv_dir() + "/" + fig + ".csv";
+    if (!t.save_csv(path)) os << "(could not write " << path << ")\n";
+  }
+}
+
+inline void print_panel_group(std::ostream& os, const std::string& fig_a,
+                              const std::string& fig_b,
+                              const std::string& fig_c, const PanelRow& row) {
+  print_panel(os, fig_a, row, "delivery ratio", row.delivery);
+  print_panel(os, fig_b, row, "average hopcounts", row.hops);
+  print_panel(os, fig_c, row, "overhead ratio", row.overhead);
+}
+
+// Sweep mutators.
+inline void set_copies(Scenario& sc, double x) {
+  sc.traffic.initial_copies = static_cast<int>(x);
+}
+inline void set_buffer_mb(Scenario& sc, double x) {
+  sc.buffer_capacity = units::megabytes(x);
+}
+inline void set_genrate_lo(Scenario& sc, double x) {
+  sc.traffic.interval_min = x;
+  sc.traffic.interval_max = x + 5.0;
+}
+
+}  // namespace dtn::bench

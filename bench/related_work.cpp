@@ -1,0 +1,48 @@
+// Related-work experiment (paper Section II): positions SDSRP-on-
+// Spray-and-Wait against the routing/buffer combinations the paper
+// discusses — Epidemic with and without GBSD (Krifa et al.), PRoPHET,
+// Spray-and-Focus, First Contact and Direct Delivery — on the Table II
+// scenario.
+//
+//   ./related_work [replicas]
+#include <iostream>
+
+#include "src/report/sweep.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+
+  struct Combo {
+    const char* label;
+    const char* router;
+    const char* policy;
+  };
+  const Combo combos[] = {
+      {"SprayAndWait + FIFO", "spray-and-wait", "fifo"},
+      {"SprayAndWait + SDSRP", "spray-and-wait", "sdsrp"},
+      {"Epidemic + FIFO", "epidemic", "fifo"},
+      {"Epidemic + GBSD", "epidemic", "gbsd"},
+      {"PRoPHET + FIFO", "prophet", "fifo"},
+      {"SprayAndFocus + FIFO", "spray-and-focus", "fifo"},
+      {"FirstContact + FIFO", "first-contact", "fifo"},
+      {"DirectDelivery", "direct-delivery", "fifo"},
+  };
+
+  std::cout << "Related-work comparison on the Table II scenario ("
+            << replicas << " replicas)\n";
+  dtn::Table t({"combination", "delivery", "hops", "overhead", "latency_s"});
+  for (const Combo& c : combos) {
+    dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+    sc.router = c.router;
+    sc.policy = c.policy;
+    const auto m = dtn::run_replicated(sc, replicas);
+    t.add_row({std::string(c.label), m.delivery_ratio.mean(),
+               m.avg_hopcount.mean(), m.overhead_ratio.mean(),
+               m.avg_latency.mean()});
+  }
+  t.set_precision(3);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Probe: how the link-speed interpretation (paper text "250 Kbps" vs the
+// ONE simulator's 250 kB/s convention) changes the policy comparison.
+//   ./bandwidth_probe [replicas]
+#include <iostream>
+
+#include "src/report/sweep.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+  dtn::Table t({"bandwidth", "buffer_MB", "policy", "delivery", "hops",
+                "overhead"});
+  for (double bw : {dtn::units::kbps(250), 250.0 * 1000.0}) {
+    for (double mb : {2.5, 5.0}) {
+      for (const char* policy :
+           {"fifo", "ttl-ratio", "copies-ratio", "sdsrp"}) {
+        dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+        sc.world.bandwidth = bw;
+        sc.buffer_capacity = dtn::units::megabytes(mb);
+        sc.policy = policy;
+        const auto m = dtn::run_replicated(sc, replicas);
+        t.add_row({bw, mb, std::string(policy), m.delivery_ratio.mean(),
+                   m.avg_hopcount.mean(), m.overhead_ratio.mean()});
+      }
+    }
+  }
+  t.set_precision(3);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Probe: cost/benefit of the dropped-list receive-rejection rule for
+// SDSRP, on both scenarios.
+//   ./droplist_probe [replicas]
+#include <iostream>
+
+#include "src/report/sweep.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+  dtn::Table t({"scenario", "reject_dropped", "delivery", "hops",
+                "overhead"});
+  for (const char* which : {"rwp", "taxi"}) {
+    for (bool reject : {true, false}) {
+      dtn::Scenario sc = std::string(which) == "taxi"
+                             ? dtn::Scenario::taxi_paper()
+                             : dtn::Scenario::random_waypoint_paper();
+      sc.policy = "sdsrp";
+      sc.sdsrp_reject_dropped = reject;
+      const auto m = dtn::run_replicated(sc, replicas);
+      t.add_row({std::string(which), std::string(reject ? "yes" : "no"),
+                 m.delivery_ratio.mean(), m.avg_hopcount.mean(),
+                 m.overhead_ratio.mean()});
+    }
+  }
+  t.set_precision(3);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Probe: Algorithm-1 newcomer-rejection vs GBSD-style always-make-room
+// in SDSRP, across buffer sizes, vs the three baselines.
+//   ./newcomer_probe [replicas]
+#include <iostream>
+
+#include "src/report/sweep.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+  dtn::Table t({"variant", "buffer_MB", "delivery", "hops", "overhead"});
+  for (double mb : {2.0, 2.5, 3.5, 5.0}) {
+    for (const char* variant :
+         {"fifo", "ttl-ratio", "copies-ratio", "sdsrp-reject",
+          "sdsrp-makeroom"}) {
+      dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+      sc.buffer_capacity = dtn::units::megabytes(mb);
+      const std::string v(variant);
+      if (v == "sdsrp-reject") {
+        sc.policy = "sdsrp";
+        sc.sdsrp_reject_newcomer = true;
+      } else if (v == "sdsrp-makeroom") {
+        sc.policy = "sdsrp";
+        sc.sdsrp_reject_newcomer = false;
+      } else {
+        sc.policy = v;
+      }
+      const auto m = dtn::run_replicated(sc, replicas);
+      t.add_row({v, mb, m.delivery_ratio.mean(), m.avg_hopcount.mean(),
+                 m.overhead_ratio.mean()});
+    }
+  }
+  t.set_precision(3);
+  t.print(std::cout);
+  return 0;
+}

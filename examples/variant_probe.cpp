@@ -1,0 +1,40 @@
+// Probe: SDSRP mechanical variants (pre-split admission view x estimator
+// mode) against the FIFO baseline at tight and loose buffers.
+//   ./variant_probe [replicas]
+#include <iostream>
+
+#include "src/report/sweep.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+  dtn::Table t({"policy", "buffer_MB", "presplit", "imt_mode", "delivery",
+                "hops", "overhead"});
+  for (double mb : {2.5, 5.0}) {
+    for (const char* policy : {"fifo", "sdsrp"}) {
+      for (bool presplit : {false, true}) {
+        for (bool mle : {false, true}) {
+          if (std::string(policy) == "fifo" && (presplit || mle)) continue;
+          dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+          sc.policy = policy;
+          sc.buffer_capacity = dtn::units::megabytes(mb);
+          sc.presplit_admission_view = presplit;
+          sc.estimator.imt_mode = mle
+              ? dtn::sdsrp::ImtEstimatorMode::kCensoredMle
+              : dtn::sdsrp::ImtEstimatorMode::kNaiveMean;
+          const auto m = dtn::run_replicated(sc, replicas);
+          t.add_row({std::string(policy), mb,
+                     std::string(presplit ? "yes" : "no"),
+                     std::string(mle ? "mle" : "naive"),
+                     m.delivery_ratio.mean(), m.avg_hopcount.mean(),
+                     m.overhead_ratio.mean()});
+        }
+      }
+    }
+  }
+  t.set_precision(3);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "src/buffer/fifo.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+namespace {
+void sort_by_arrival(std::vector<const Message*>& msgs) {
+  std::sort(msgs.begin(), msgs.end(), [](const Message* a, const Message* b) {
+    if (a->received != b->received) return a->received < b->received;
+    return a->id < b->id;
+  });
+}
+}  // namespace
+
+void FifoPolicy::order_for_sending(std::vector<const Message*>& msgs,
+                                   const PolicyContext& /*ctx*/) const {
+  sort_by_arrival(msgs);
+}
+
+const Message* FifoPolicy::choose_drop(
+    const std::vector<const Message*>& droppable, const Message* newcomer,
+    const PolicyContext& /*ctx*/) const {
+  DTN_REQUIRE(!droppable.empty() || newcomer != nullptr,
+              "choose_drop: no candidates");
+  if (droppable.empty()) return newcomer;
+  const Message* oldest = droppable.front();
+  for (const Message* m : droppable) {
+    if (m->received < oldest->received ||
+        (m->received == oldest->received && m->id < oldest->id)) {
+      oldest = m;
+    }
+  }
+  return oldest;
+}
+
+void DropTailPolicy::order_for_sending(std::vector<const Message*>& msgs,
+                                       const PolicyContext& /*ctx*/) const {
+  sort_by_arrival(msgs);
+}
+
+const Message* DropTailPolicy::choose_drop(
+    const std::vector<const Message*>& droppable, const Message* newcomer,
+    const PolicyContext& /*ctx*/) const {
+  DTN_REQUIRE(!droppable.empty() || newcomer != nullptr,
+              "choose_drop: no candidates");
+  if (newcomer != nullptr) return newcomer;
+  // Forced eviction without a newcomer falls back to drop-head.
+  return droppable.front();
+}
+
+void DropLargestPolicy::order_for_sending(std::vector<const Message*>& msgs,
+                                          const PolicyContext& /*ctx*/) const {
+  sort_by_arrival(msgs);
+}
+
+const Message* DropLargestPolicy::choose_drop(
+    const std::vector<const Message*>& droppable, const Message* newcomer,
+    const PolicyContext& /*ctx*/) const {
+  DTN_REQUIRE(!droppable.empty() || newcomer != nullptr,
+              "choose_drop: no candidates");
+  const Message* victim = nullptr;
+  auto consider = [&victim](const Message* m) {
+    if (victim == nullptr || m->size > victim->size ||
+        (m->size == victim->size && m->id > victim->id)) {
+      victim = m;
+    }
+  };
+  for (const Message* m : droppable) consider(m);
+  if (newcomer != nullptr && victim == nullptr) victim = newcomer;
+  // Note: the newcomer is only dropped when strictly largest.
+  if (newcomer != nullptr && victim != nullptr &&
+      newcomer->size > victim->size) {
+    victim = newcomer;
+  }
+  return victim;
+}
+
+}  // namespace dtn

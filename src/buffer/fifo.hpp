@@ -1,0 +1,53 @@
+// FIFO buffer management — the paper's plain "Spray and Wait" comparison
+// subject: messages are scheduled in arrival order and the oldest resident
+// is dropped on overflow (drop-head). Also provides the drop-tail variant
+// (reject newcomers) used in ablations.
+#pragma once
+
+#include "src/core/buffer_policy.hpp"
+
+namespace dtn {
+
+class FifoPolicy final : public BufferPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+
+  void order_for_sending(std::vector<const Message*>& msgs,
+                         const PolicyContext& ctx) const override;
+
+  /// Drops the longest-resident droppable message; the newcomer is only
+  /// chosen when no resident can be evicted.
+  const Message* choose_drop(const std::vector<const Message*>& droppable,
+                             const Message* newcomer,
+                             const PolicyContext& ctx) const override;
+};
+
+/// Drop-tail: FIFO scheduling, but overflow rejects the incoming message
+/// instead of evicting residents.
+class DropTailPolicy final : public BufferPolicy {
+ public:
+  const char* name() const override { return "drop-tail"; }
+
+  void order_for_sending(std::vector<const Message*>& msgs,
+                         const PolicyContext& ctx) const override;
+
+  const Message* choose_drop(const std::vector<const Message*>& droppable,
+                             const Message* newcomer,
+                             const PolicyContext& ctx) const override;
+};
+
+/// Drop-largest: evicts the biggest message first (classic queueing-policy
+/// baseline from Lindgren & Phanse's evaluation). FIFO scheduling order.
+class DropLargestPolicy final : public BufferPolicy {
+ public:
+  const char* name() const override { return "drop-largest"; }
+
+  void order_for_sending(std::vector<const Message*>& msgs,
+                         const PolicyContext& ctx) const override;
+
+  const Message* choose_drop(const std::vector<const Message*>& droppable,
+                             const Message* newcomer,
+                             const PolicyContext& ctx) const override;
+};
+
+}  // namespace dtn

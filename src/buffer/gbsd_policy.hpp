@@ -1,0 +1,44 @@
+// GBSD — Global-knowledge-Based Scheduling and Drop (Krifa & Barakat,
+// refs [15]-[17] of the paper): the optimal buffer policy for *Epidemic*
+// routing when maximizing delivery ratio. The per-copy utility is the
+// marginal delivery-probability derivative
+//
+//   U_i = (1 - m_i/(N-1)) · λ · R_i · e^{-λ n_i R_i}
+//
+// — i.e. SDSRP's Eq. 10 with no spray-budget term (epidemic copies carry
+// no token counter, so A_i degenerates to R_i). m_i and n_i are read from
+// the simulator's global registry, which plays the role of GBSD's oracle
+// ("global knowledge"). Scheduling sends the highest-utility message
+// first; overflow drops the lowest-utility one.
+//
+// Implemented as the related-work baseline the paper positions SDSRP
+// against: GBSD is only appropriate for Epidemic routing (Section II).
+#pragma once
+
+#include "src/core/buffer_policy.hpp"
+
+namespace dtn {
+
+class GbsdPolicy final : public ScalarBufferPolicy {
+ public:
+  const char* name() const override { return "gbsd"; }
+
+  double priority(const Message& m, const PolicyContext& ctx) const override;
+};
+
+/// GBD — the companion *delay*-optimal utility from the same papers:
+/// minimizing expected delivery delay weights a copy by
+///
+///   U_i = (1 - m_i/(N-1)) / n_i²
+///
+/// (the marginal reduction of the expected meeting time 1/(λ n_i) for a
+/// not-yet-delivered message; λ is a common factor and drops out of the
+/// ordering). Included for the delay-vs-ratio tradeoff experiments.
+class GbsdDelayPolicy final : public ScalarBufferPolicy {
+ public:
+  const char* name() const override { return "gbsd-delay"; }
+
+  double priority(const Message& m, const PolicyContext& ctx) const override;
+};
+
+}  // namespace dtn

@@ -1,0 +1,50 @@
+#include "src/buffer/knapsack_policy.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+double KnapsackSdsrpPolicy::density(const Message& m,
+                                    const PolicyContext& ctx) const {
+  DTN_REQUIRE(m.size > 0, "knapsack: message size must be positive");
+  return inner_.priority(m, ctx) / static_cast<double>(m.size);
+}
+
+void KnapsackSdsrpPolicy::order_for_sending(
+    std::vector<const Message*>& msgs, const PolicyContext& ctx) const {
+  std::vector<std::pair<double, const Message*>> keyed;
+  keyed.reserve(msgs.size());
+  for (const Message* m : msgs) keyed.emplace_back(density(*m, ctx), m);
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second->id < b.second->id;
+  });
+  for (std::size_t i = 0; i < keyed.size(); ++i) msgs[i] = keyed[i].second;
+}
+
+const Message* KnapsackSdsrpPolicy::choose_drop(
+    const std::vector<const Message*>& droppable, const Message* newcomer,
+    const PolicyContext& ctx) const {
+  DTN_REQUIRE(!droppable.empty() || newcomer != nullptr,
+              "choose_drop: no candidates");
+  const Message* victim = nullptr;
+  double victim_density = 0.0;
+  for (const Message* m : droppable) {
+    const double d = density(*m, ctx);
+    if (victim == nullptr || d < victim_density ||
+        (d == victim_density && m->id > victim->id)) {
+      victim = m;
+      victim_density = d;
+    }
+  }
+  if (newcomer != nullptr) {
+    // Algorithm-1-style strict test, in density space.
+    const double d = density(*newcomer, ctx);
+    if (victim == nullptr || d < victim_density) victim = newcomer;
+  }
+  return victim;
+}
+
+}  // namespace dtn

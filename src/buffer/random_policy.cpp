@@ -1,0 +1,24 @@
+#include "src/buffer/random_policy.hpp"
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+void RandomPolicy::order_for_sending(std::vector<const Message*>& msgs,
+                                     const PolicyContext& /*ctx*/) const {
+  rng_.shuffle(msgs);
+}
+
+const Message* RandomPolicy::choose_drop(
+    const std::vector<const Message*>& droppable, const Message* newcomer,
+    const PolicyContext& /*ctx*/) const {
+  DTN_REQUIRE(!droppable.empty() || newcomer != nullptr,
+              "choose_drop: no candidates");
+  const auto total = droppable.size() + (newcomer != nullptr ? 1u : 0u);
+  const auto pick = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+  if (pick < droppable.size()) return droppable[pick];
+  return newcomer;
+}
+
+}  // namespace dtn

@@ -1,0 +1,30 @@
+// Random buffer management: uniformly random send order and drop victim.
+// The "no information" baseline the paper argues Spray-and-Wait-C
+// degenerates to when copy counts are all equal.
+#pragma once
+
+#include "src/core/buffer_policy.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+
+class RandomPolicy final : public BufferPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0xC0FFEE) : rng_(seed) {}
+
+  const char* name() const override { return "random"; }
+
+  void order_for_sending(std::vector<const Message*>& msgs,
+                         const PolicyContext& ctx) const override;
+
+  const Message* choose_drop(const std::vector<const Message*>& droppable,
+                             const Message* newcomer,
+                             const PolicyContext& ctx) const override;
+
+ private:
+  // The policy object is shared across nodes of one single-threaded World;
+  // the stream is part of the simulation's seeded determinism.
+  mutable Rng rng_;
+};
+
+}  // namespace dtn

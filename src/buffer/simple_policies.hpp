@@ -1,0 +1,57 @@
+// Scalar-priority policies from the paper's comparison and related work:
+//   * TtlRatioPolicy  = "Spray and Wait-O": priority = R_i / TTL_i
+//   * CopiesRatioPolicy = "Spray and Wait-C": priority = C_i / C
+//   * MofoPolicy: drop the most-forwarded copy first (Lindgren & Phanse)
+//   * LifoPolicy: newest-arrival-first scheduling, drop the newest
+#pragma once
+
+#include "src/core/buffer_policy.hpp"
+
+namespace dtn {
+
+/// "Spray and Wait-O" (paper Section IV-A): the ratio between remaining
+/// TTL and initial TTL is the priority — fresher messages are replicated
+/// first and near-expiry messages are dropped first.
+class TtlRatioPolicy final : public ScalarBufferPolicy {
+ public:
+  const char* name() const override { return "ttl-ratio"; }
+  double priority(const Message& m, const PolicyContext& ctx) const override {
+    return m.ttl > 0.0 ? m.remaining_ttl(ctx.now) / m.ttl : 0.0;
+  }
+};
+
+/// "Spray and Wait-C" (paper Section IV-A): the ratio between current
+/// copy tokens and the initial budget is the priority — copy-rich messages
+/// are replicated first, copy-poor ones are dropped first.
+class CopiesRatioPolicy final : public ScalarBufferPolicy {
+ public:
+  const char* name() const override { return "copies-ratio"; }
+  double priority(const Message& m, const PolicyContext& /*ctx*/) const override {
+    return m.initial_copies > 0
+               ? static_cast<double>(m.copies) /
+                     static_cast<double>(m.initial_copies)
+               : 0.0;
+  }
+};
+
+/// MOFO ("evict most forwarded first"): a copy that was already forwarded
+/// many times has had its chance; drop it before fresher ones.
+class MofoPolicy final : public ScalarBufferPolicy {
+ public:
+  const char* name() const override { return "mofo"; }
+  double priority(const Message& m, const PolicyContext& /*ctx*/) const override {
+    return -static_cast<double>(m.forwards);
+  }
+};
+
+/// LIFO: newest arrival has the highest priority; oldest is sent last and
+/// the *newest* resident is dropped on overflow.
+class LifoPolicy final : public ScalarBufferPolicy {
+ public:
+  const char* name() const override { return "lifo"; }
+  double priority(const Message& m, const PolicyContext& /*ctx*/) const override {
+    return m.received;
+  }
+};
+
+}  // namespace dtn

@@ -1,0 +1,104 @@
+#include "src/buffer/fifo.hpp"
+#include "src/buffer/gbsd_policy.hpp"
+#include "src/buffer/knapsack_policy.hpp"
+#include "src/buffer/random_policy.hpp"
+#include "src/buffer/sdsrp_policy.hpp"
+#include "src/buffer/simple_policies.hpp"
+#include "src/config/scenario.hpp"
+#include "src/mobility/stationary.hpp"
+#include "src/routing/direct_delivery.hpp"
+#include "src/routing/epidemic.hpp"
+#include "src/routing/first_contact.hpp"
+#include "src/routing/prophet.hpp"
+#include "src/routing/spray_and_focus.hpp"
+#include "src/routing/spray_and_wait.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+std::unique_ptr<Router> make_router(const Scenario& sc) {
+  const std::string& name = sc.router;
+  if (name == "spray-and-wait") {
+    return std::make_unique<SprayAndWaitRouter>(SprayAndWaitConfig{
+        /*binary=*/true, sc.precheck_admission, sc.presplit_admission_view});
+  }
+  if (name == "spray-and-wait-source") {
+    return std::make_unique<SprayAndWaitRouter>(SprayAndWaitConfig{
+        /*binary=*/false, sc.precheck_admission, sc.presplit_admission_view});
+  }
+  if (name == "epidemic") return std::make_unique<EpidemicRouter>();
+  if (name == "direct-delivery") {
+    return std::make_unique<DirectDeliveryRouter>();
+  }
+  if (name == "first-contact") return std::make_unique<FirstContactRouter>();
+  if (name == "spray-and-focus") {
+    return std::make_unique<SprayAndFocusRouter>();
+  }
+  if (name == "prophet") return std::make_unique<ProphetRouter>();
+  DTN_REQUIRE(false, "unknown router: " + name);
+  return nullptr;
+}
+
+std::unique_ptr<BufferPolicy> make_policy(const Scenario& sc,
+                                          std::uint64_t seed) {
+  const std::string& name = sc.policy;
+  const SdsrpParams params{sc.sdsrp_taylor_terms, sc.sdsrp_anchor_last_spray,
+                           sc.sdsrp_reject_newcomer, sc.sdsrp_reject_dropped};
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "drop-tail") return std::make_unique<DropTailPolicy>();
+  if (name == "drop-largest") return std::make_unique<DropLargestPolicy>();
+  if (name == "lifo") return std::make_unique<LifoPolicy>();
+  if (name == "random") return std::make_unique<RandomPolicy>(seed);
+  if (name == "ttl-ratio") return std::make_unique<TtlRatioPolicy>();
+  if (name == "copies-ratio") return std::make_unique<CopiesRatioPolicy>();
+  if (name == "mofo") return std::make_unique<MofoPolicy>();
+  if (name == "sdsrp") return std::make_unique<SdsrpPolicy>(params);
+  if (name == "knapsack-sdsrp") {
+    return std::make_unique<KnapsackSdsrpPolicy>(params);
+  }
+  if (name == "sdsrp-oracle") {
+    return std::make_unique<SdsrpOraclePolicy>(params);
+  }
+  if (name == "gbsd") return std::make_unique<GbsdPolicy>();
+  if (name == "gbsd-delay") return std::make_unique<GbsdDelayPolicy>();
+  DTN_REQUIRE(false, "unknown buffer policy: " + name);
+  return nullptr;
+}
+
+MobilityPtr make_mobility(const Scenario& sc, Rng rng,
+                          std::size_t /*node_index*/) {
+  if (sc.mobility == "random-waypoint") {
+    return std::make_unique<RandomWaypointModel>(sc.rwp, rng);
+  }
+  if (sc.mobility == "random-walk") {
+    return std::make_unique<RandomWalkModel>(sc.walk, rng);
+  }
+  if (sc.mobility == "random-direction") {
+    return std::make_unique<RandomDirectionModel>(sc.direction, rng);
+  }
+  if (sc.mobility == "taxi-fleet") {
+    return std::make_unique<TaxiFleetModel>(sc.taxi, rng);
+  }
+  if (sc.mobility == "manhattan-grid") {
+    return std::make_unique<ManhattanGridModel>(sc.manhattan, rng);
+  }
+  DTN_REQUIRE(false, "unknown mobility model: " + sc.mobility);
+  return nullptr;
+}
+
+std::unique_ptr<World> build_world(const Scenario& sc) {
+  DTN_REQUIRE(sc.n_nodes >= 2, "scenario: need at least two nodes");
+  auto world = std::make_unique<World>(sc.world);
+  world->set_router(make_router(sc));
+
+  Rng master(sc.seed);
+  world->set_policy(make_policy(sc, master.fork(0xB0).next_u64()));
+  for (std::size_t i = 0; i < sc.n_nodes; ++i) {
+    world->add_node(make_mobility(sc, master.fork(i + 1), i),
+                    sc.buffer_capacity, sc.estimator);
+  }
+  world->enable_traffic(sc.traffic, master.fork(0xA11CE).next_u64());
+  return world;
+}
+
+}  // namespace dtn

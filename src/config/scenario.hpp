@@ -1,0 +1,82 @@
+// Scenario: one fully-specified experiment — everything in the paper's
+// Tables II and III plus the factory names of the mobility model, router
+// and buffer policy. Scenarios round-trip through the ONE-style Settings
+// text, and bench sweeps mutate copies of a base scenario.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/message_generator.hpp"
+#include "src/core/node.hpp"
+#include "src/core/world.hpp"
+#include "src/mobility/manhattan_grid.hpp"
+#include "src/mobility/random_direction.hpp"
+#include "src/mobility/random_walk.hpp"
+#include "src/mobility/random_waypoint.hpp"
+#include "src/mobility/taxi_fleet.hpp"
+#include "src/util/settings.hpp"
+
+namespace dtn {
+
+struct Scenario {
+  std::string name = "scenario";
+
+  WorldConfig world;                 ///< step/duration/range/bandwidth
+  std::size_t n_nodes = 100;
+  std::int64_t buffer_capacity = 2'500'000;  ///< bytes
+  MessageGenConfig traffic;
+
+  /// One of: random-waypoint | random-walk | random-direction |
+  /// taxi-fleet | manhattan-grid.
+  std::string mobility = "random-waypoint";
+  RandomWaypointConfig rwp;
+  RandomWalkConfig walk;
+  RandomDirectionConfig direction;
+  TaxiFleetConfig taxi;
+  ManhattanGridConfig manhattan;
+
+  /// One of: spray-and-wait | spray-and-wait-source | epidemic |
+  /// direct-delivery | first-contact | spray-and-focus | prophet.
+  std::string router = "spray-and-wait";
+
+  /// One of: fifo | drop-tail | drop-largest | lifo | random | ttl-ratio |
+  /// copies-ratio | mofo | sdsrp | sdsrp-oracle | gbsd.
+  std::string policy = "sdsrp";
+
+  NodeEstimatorConfig estimator;
+  std::size_t sdsrp_taylor_terms = 0;  ///< 0 = closed-form Eq. 10
+  bool sdsrp_anchor_last_spray = true; ///< Eq. 15 t_n anchoring
+  bool precheck_admission = true;      ///< receiver-admission handshake
+  bool presplit_admission_view = false; ///< rate newcomers pre-split
+  bool sdsrp_reject_newcomer = true;    ///< Algorithm-1 newcomer test
+  bool sdsrp_reject_dropped = true;     ///< refuse re-receipt after own drop
+
+  std::uint64_t seed = 1;
+
+  /// Table II: the paper's synthetic random-waypoint scenario.
+  static Scenario random_waypoint_paper();
+
+  /// Table III: the paper's EPFL taxi scenario, with the synthetic
+  /// TaxiFleetModel standing in for the CRAWDAD GPS trace (DESIGN.md §4).
+  static Scenario taxi_paper();
+
+  /// Parses a Settings blob (keys documented in scenario.cpp).
+  static Scenario from_settings(const Settings& s);
+  Settings to_settings() const;
+};
+
+/// Builds a ready-to-run World from the scenario: constructs the router,
+/// policy, per-node mobility models (seeded deterministically from
+/// scenario.seed) and the traffic generator. Throws PreconditionError on
+/// unknown factory names.
+std::unique_ptr<World> build_world(const Scenario& sc);
+
+/// Factory helpers, exposed for tests and custom setups.
+std::unique_ptr<Router> make_router(const Scenario& sc);
+std::unique_ptr<BufferPolicy> make_policy(const Scenario& sc,
+                                          std::uint64_t seed);
+MobilityPtr make_mobility(const Scenario& sc, Rng rng, std::size_t node_index);
+
+}  // namespace dtn

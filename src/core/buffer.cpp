@@ -1,0 +1,70 @@
+#include "src/core/buffer.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+Buffer::Buffer(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {
+  DTN_REQUIRE(capacity_bytes > 0, "Buffer: capacity must be positive");
+}
+
+double Buffer::occupancy() const {
+  return capacity_ > 0
+             ? static_cast<double>(used_) / static_cast<double>(capacity_)
+             : 0.0;
+}
+
+bool Buffer::has(MessageId id) const { return find(id) != nullptr; }
+
+Message* Buffer::find(MessageId id) {
+  for (auto& m : messages_) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+const Message* Buffer::find(MessageId id) const {
+  return const_cast<Buffer*>(this)->find(id);
+}
+
+bool Buffer::try_insert(Message m) {
+  DTN_REQUIRE(!has(m.id), "Buffer: duplicate message id");
+  DTN_REQUIRE(m.size > 0, "Buffer: message size must be positive");
+  if (m.size > free()) return false;
+  used_ += m.size;
+  messages_.push_back(std::move(m));
+  return true;
+}
+
+Message Buffer::take(MessageId id) {
+  const auto it =
+      std::find_if(messages_.begin(), messages_.end(),
+                   [id](const Message& m) { return m.id == id; });
+  DTN_REQUIRE(it != messages_.end(), "Buffer: take of absent message");
+  Message out = std::move(*it);
+  messages_.erase(it);
+  used_ -= out.size;
+  return out;
+}
+
+std::vector<Message> Buffer::purge_expired(
+    SimTime now, const std::vector<MessageId>& pinned) {
+  std::vector<Message> removed;
+  auto is_pinned = [&pinned](MessageId id) {
+    return std::find(pinned.begin(), pinned.end(), id) != pinned.end();
+  };
+  for (auto it = messages_.begin(); it != messages_.end();) {
+    if (it->expired(now) && !is_pinned(it->id)) {
+      used_ -= it->size;
+      removed.push_back(std::move(*it));
+      it = messages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace dtn

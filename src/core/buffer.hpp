@@ -1,0 +1,54 @@
+// Buffer: a node's byte-limited message store.
+//
+// Storage order is arrival order (FIFO policies depend on it). The buffer
+// itself never decides *what* to drop — admission control with
+// policy-driven eviction lives in Node::admit (Algorithm 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/message.hpp"
+
+namespace dtn {
+
+class Buffer {
+ public:
+  explicit Buffer(std::int64_t capacity_bytes);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t used() const { return used_; }
+  std::int64_t free() const { return capacity_ - used_; }
+  std::size_t count() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+  /// Occupancy in [0,1].
+  double occupancy() const;
+
+  bool has(MessageId id) const;
+  /// Pointer into the buffer, or nullptr. Invalidated by insert/remove.
+  Message* find(MessageId id);
+  const Message* find(MessageId id) const;
+
+  /// Inserts if it fits; returns false (and leaves the buffer unchanged)
+  /// if free() < m.size. Duplicate ids are a precondition violation.
+  bool try_insert(Message m);
+
+  /// Removes and returns the message; precondition: it exists.
+  Message take(MessageId id);
+
+  /// Removes every message with expiry <= now, except ids in `pinned`
+  /// (in-flight transfers); returns the removed messages.
+  std::vector<Message> purge_expired(SimTime now,
+                                     const std::vector<MessageId>& pinned);
+
+  /// Messages in arrival order.
+  const std::vector<Message>& messages() const { return messages_; }
+  std::vector<Message>& messages() { return messages_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::vector<Message> messages_;
+};
+
+}  // namespace dtn

@@ -1,0 +1,48 @@
+#include "src/core/buffer_policy.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+void ScalarBufferPolicy::order_for_sending(std::vector<const Message*>& msgs,
+                                           const PolicyContext& ctx) const {
+  std::vector<std::pair<double, const Message*>> keyed;
+  keyed.reserve(msgs.size());
+  for (const Message* m : msgs) keyed.emplace_back(priority(*m, ctx), m);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second->id < b.second->id;
+            });
+  for (std::size_t i = 0; i < keyed.size(); ++i) msgs[i] = keyed[i].second;
+}
+
+const Message* ScalarBufferPolicy::choose_drop(
+    const std::vector<const Message*>& droppable, const Message* newcomer,
+    const PolicyContext& ctx) const {
+  DTN_REQUIRE(!droppable.empty() || newcomer != nullptr,
+              "choose_drop: no candidates");
+  const Message* victim = nullptr;
+  double victim_prio = 0.0;
+  auto consider = [&](const Message* m) {
+    const double p = priority(*m, ctx);
+    if (victim == nullptr || p < victim_prio ||
+        (p == victim_prio && m->id > victim->id)) {
+      victim = m;
+      victim_prio = p;
+    }
+  };
+  // Residents first; the newcomer becomes the victim only when its
+  // priority is strictly lower than the lowest resident's (Algorithm 1's
+  // "if Priority_m < Priority_l" test — ties drop the resident).
+  for (const Message* m : droppable) consider(m);
+  if (newcomer != nullptr) {
+    const double p = priority(*newcomer, ctx);
+    if (victim == nullptr || p < victim_prio) victim = newcomer;
+  }
+  return victim;
+}
+
+}  // namespace dtn

@@ -1,0 +1,80 @@
+// BufferPolicy: the interface every buffer-management strategy implements
+// (the paper's comparison subjects: FIFO, Spray-and-Wait-O, -C, SDSRP).
+//
+// A policy answers two questions (Algorithm 1):
+//   * when a contact cannot carry everything, which message goes first?
+//   * when the buffer overflows, which message — resident or newcomer —
+//     is dropped?
+#pragma once
+
+#include <vector>
+
+#include "src/core/message.hpp"
+#include "src/core/types.hpp"
+
+namespace dtn {
+
+class Node;
+class GlobalRegistry;
+
+/// Read-only context handed to policies and routers.
+struct PolicyContext {
+  SimTime now = 0.0;
+  std::size_t n_nodes = 0;                 ///< N, network size
+  const Node* node = nullptr;              ///< owner of the buffer at hand
+  const GlobalRegistry* oracle = nullptr;  ///< ground truth (oracle policies)
+
+  /// Same context viewed from another node's buffer.
+  PolicyContext viewed_from(const Node& other) const {
+    PolicyContext c = *this;
+    c.node = &other;
+    return c;
+  }
+};
+
+class BufferPolicy {
+ public:
+  virtual ~BufferPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Sorts candidates most-preferred-to-send first. Must be deterministic
+  /// (ties broken by message id).
+  virtual void order_for_sending(std::vector<const Message*>& msgs,
+                                 const PolicyContext& ctx) const = 0;
+
+  /// Chooses the drop victim among droppable resident messages plus an
+  /// optional newcomer. Returns a pointer to one element of `droppable`
+  /// or `newcomer`. Preconditions: at least one candidate exists.
+  virtual const Message* choose_drop(
+      const std::vector<const Message*>& droppable, const Message* newcomer,
+      const PolicyContext& ctx) const = 0;
+
+  /// True if nodes under this policy maintain and gossip the SDSRP
+  /// dropped-list structure (Fig. 5).
+  virtual bool uses_dropped_list() const { return false; }
+
+  /// True if nodes additionally reject re-receiving a message in their
+  /// own drop record (the paper's duplication-avoidance rule).
+  virtual bool rejects_previously_dropped() const {
+    return uses_dropped_list();
+  }
+};
+
+/// Helper base for policies expressible as one scalar priority per message:
+/// send highest first, drop lowest (among residents and newcomer).
+/// Ties are broken toward the smaller message id, newcomer losing ties
+/// against residents with equal priority and id ordering applied last.
+class ScalarBufferPolicy : public BufferPolicy {
+ public:
+  /// Larger = more valuable (sent earlier, dropped later).
+  virtual double priority(const Message& m, const PolicyContext& ctx) const = 0;
+
+  void order_for_sending(std::vector<const Message*>& msgs,
+                         const PolicyContext& ctx) const override;
+  const Message* choose_drop(const std::vector<const Message*>& droppable,
+                             const Message* newcomer,
+                             const PolicyContext& ctx) const override;
+};
+
+}  // namespace dtn

@@ -1,0 +1,40 @@
+// Message: one node's copy of a DTN bundle.
+//
+// Identity fields (id, source, destination, size, created, ttl,
+// initial_copies) are shared by every copy of the same message; the
+// remaining fields are per-copy state that evolves as the copy is relayed:
+// Spray-and-Wait's copy counter, the hop count of this particular copy's
+// path, and the binary-spray timestamp lineage SDSRP's m_i estimator
+// consumes (Eq. 15).
+#pragma once
+
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace dtn {
+
+struct Message {
+  // --- shared identity ---
+  MessageId id = 0;
+  NodeId source = kNoNode;
+  NodeId destination = kNoNode;
+  std::int64_t size = 0;      ///< bytes
+  SimTime created = 0.0;
+  double ttl = 0.0;           ///< lifetime in seconds
+  int initial_copies = 1;     ///< C: the Spray-and-Wait copy budget
+
+  // --- per-copy state ---
+  int copies = 1;             ///< C_i: copies this node is custodian of
+  int hops = 0;               ///< relays this copy took from the source
+  int forwards = 0;           ///< times this node forwarded the copy (MOFO)
+  SimTime received = 0.0;     ///< when this copy entered the local buffer
+  std::vector<SimTime> spray_times;  ///< lineage binary-spray timestamps
+
+  SimTime expiry() const { return created + ttl; }
+  bool expired(SimTime now) const { return now >= expiry(); }
+  double remaining_ttl(SimTime now) const { return expiry() - now; }
+  double elapsed(SimTime now) const { return now - created; }
+};
+
+}  // namespace dtn

@@ -1,0 +1,50 @@
+#include "src/core/message_generator.hpp"
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+MessageGenerator::MessageGenerator(const MessageGenConfig& cfg,
+                                   std::size_t n_nodes, Rng rng)
+    : cfg_(cfg), n_nodes_(n_nodes), rng_(rng) {
+  DTN_REQUIRE(n_nodes >= 2, "message generator: need at least two nodes");
+  DTN_REQUIRE(cfg.interval_min > 0.0 && cfg.interval_max >= cfg.interval_min,
+              "message generator: bad interval range");
+  DTN_REQUIRE(cfg.size > 0, "message generator: bad message size");
+  DTN_REQUIRE(cfg.ttl > 0.0, "message generator: bad TTL");
+  DTN_REQUIRE(cfg.initial_copies >= 1, "message generator: bad copy budget");
+  next_time_ = cfg_.start + rng_.uniform(cfg_.interval_min, cfg_.interval_max);
+}
+
+Message MessageGenerator::make_message(SimTime t) {
+  Message m;
+  m.id = next_id_++;
+  m.source = static_cast<NodeId>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(n_nodes_) - 1));
+  // Distinct destination, uniform over the other nodes.
+  auto dst = static_cast<NodeId>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(n_nodes_) - 2));
+  if (dst >= m.source) ++dst;
+  m.destination = dst;
+  m.size = cfg_.size_max > cfg_.size
+               ? rng_.uniform_int(cfg_.size, cfg_.size_max)
+               : cfg_.size;
+  m.created = t;
+  m.ttl = cfg_.ttl;
+  m.initial_copies = cfg_.initial_copies;
+  m.copies = cfg_.initial_copies;
+  m.hops = 0;
+  m.received = t;
+  return m;
+}
+
+std::vector<Message> MessageGenerator::poll(SimTime now) {
+  std::vector<Message> out;
+  while (next_time_ <= now && next_time_ <= cfg_.stop) {
+    out.push_back(make_message(next_time_));
+    next_time_ += rng_.uniform(cfg_.interval_min, cfg_.interval_max);
+  }
+  return out;
+}
+
+}  // namespace dtn

@@ -1,0 +1,82 @@
+#include "src/core/node.hpp"
+
+#include <algorithm>
+
+#include "src/core/router.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+Node::Node(NodeId id, MobilityPtr mobility, std::int64_t buffer_capacity,
+           const Router* router, const BufferPolicy* policy,
+           const NodeEstimatorConfig& est_cfg)
+    : id_(id),
+      mobility_(std::move(mobility)),
+      buffer_(buffer_capacity),
+      router_(router),
+      policy_(policy),
+      imt_(est_cfg.prior_mean_intermeeting, est_cfg.min_intermeeting_samples,
+           est_cfg.imt_mode),
+      dropped_(id) {
+  DTN_REQUIRE(mobility_ != nullptr, "Node: mobility required");
+  DTN_REQUIRE(router_ != nullptr, "Node: router required");
+  DTN_REQUIRE(policy_ != nullptr, "Node: buffer policy required");
+}
+
+void Node::unpin(MessageId id) {
+  const auto it = std::find(pinned_.begin(), pinned_.end(), id);
+  if (it != pinned_.end()) pinned_.erase(it);
+}
+
+bool Node::is_pinned(MessageId id) const {
+  return std::find(pinned_.begin(), pinned_.end(), id) != pinned_.end();
+}
+
+bool Node::plan_admission(const Message& incoming, const PolicyContext& ctx,
+                          const Message* newcomer_view,
+                          std::vector<MessageId>* victims) const {
+  DTN_REQUIRE(incoming.size > 0, "admission: message size must be positive");
+  if (incoming.size > buffer_.capacity()) return false;  // can never fit
+
+  std::int64_t free = buffer_.free();
+  if (free >= incoming.size) return true;
+
+  const Message* newcomer = newcomer_view != nullptr ? newcomer_view
+                                                     : &incoming;
+  // Work on pointers so the policy sees real Message objects.
+  std::vector<const Message*> droppable;
+  droppable.reserve(buffer_.count());
+  for (const Message& m : buffer_.messages()) {
+    if (!is_pinned(m.id)) droppable.push_back(&m);
+  }
+
+  while (free < incoming.size) {
+    if (droppable.empty()) return false;  // nothing evictable left
+    const Message* victim = policy_->choose_drop(droppable, newcomer, ctx);
+    DTN_REQUIRE(victim != nullptr, "policy returned no drop victim");
+    if (victim == newcomer) return false;  // newcomer loses, reject it
+    free += victim->size;
+    if (victims != nullptr) victims->push_back(victim->id);
+    droppable.erase(std::find(droppable.begin(), droppable.end(), victim));
+  }
+  return true;
+}
+
+bool Node::would_admit(const Message& incoming, const PolicyContext& ctx,
+                       const Message* newcomer_view) const {
+  return plan_admission(incoming, ctx, newcomer_view, nullptr);
+}
+
+Node::AdmitResult Node::admit(Message incoming, const PolicyContext& ctx,
+                              const Message* newcomer_view) {
+  AdmitResult result;
+  std::vector<MessageId> victims;
+  if (!plan_admission(incoming, ctx, newcomer_view, &victims)) return result;
+  for (MessageId v : victims) result.evicted.push_back(buffer_.take(v));
+  const bool ok = buffer_.try_insert(std::move(incoming));
+  DTN_REQUIRE(ok, "admission plan did not free enough space");
+  result.admitted = true;
+  return result;
+}
+
+}  // namespace dtn

@@ -1,0 +1,114 @@
+// Node: a DTN host — mobility + radio + buffer + routing + per-node SDSRP
+// state (intermeeting estimator and dropped-list record).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/buffer.hpp"
+#include "src/core/buffer_policy.hpp"
+#include "src/core/message.hpp"
+#include "src/core/types.hpp"
+#include "src/mobility/mobility_model.hpp"
+#include "src/sdsrp/dropped_list.hpp"
+#include "src/sdsrp/intermeeting_estimator.hpp"
+
+namespace dtn {
+
+class Router;
+
+/// Per-node knobs for the distributed SDSRP estimators.
+struct NodeEstimatorConfig {
+  double prior_mean_intermeeting = 30000.0;  ///< E(I) before warm-up (s)
+  std::size_t min_intermeeting_samples = 4;  ///< warm-up threshold
+  sdsrp::ImtEstimatorMode imt_mode =
+      sdsrp::ImtEstimatorMode::kNaiveMean;     ///< see estimator header
+};
+
+class Node {
+ public:
+  Node(NodeId id, MobilityPtr mobility, std::int64_t buffer_capacity,
+       const Router* router, const BufferPolicy* policy,
+       const NodeEstimatorConfig& est_cfg = {});
+
+  NodeId id() const { return id_; }
+  MobilityModel& mobility() { return *mobility_; }
+  const MobilityModel& mobility() const { return *mobility_; }
+  Buffer& buffer() { return buffer_; }
+  const Buffer& buffer() const { return buffer_; }
+  const Router& router() const { return *router_; }
+  const BufferPolicy& policy() const { return *policy_; }
+
+  // --- delivery bookkeeping (this node as destination) ---
+  bool has_delivered(MessageId id) const { return delivered_.count(id) > 0; }
+  void mark_delivered(MessageId id) { delivered_.insert(id); }
+
+  // --- ACK gossip (optional immunization extension; the paper's setup
+  //     explicitly runs *without* this — see WorldConfig::ack_gossip) ---
+  bool knows_delivered(MessageId id) const {
+    return known_delivered_.count(id) > 0;
+  }
+  void learn_delivered(MessageId id) { known_delivered_.insert(id); }
+  const std::unordered_set<MessageId>& known_delivered() const {
+    return known_delivered_;
+  }
+
+  // --- SDSRP distributed state ---
+  sdsrp::IntermeetingEstimator& intermeeting() { return imt_; }
+  const sdsrp::IntermeetingEstimator& intermeeting() const { return imt_; }
+  sdsrp::DroppedList& dropped_list() { return dropped_; }
+  const sdsrp::DroppedList& dropped_list() const { return dropped_; }
+  /// True if this node itself dropped the message before (receive-reject,
+  /// only meaningful when the active policy maintains dropped lists).
+  bool has_dropped(MessageId id) const { return dropped_.has_own_drop(id); }
+
+  // --- radio / transfer state (maintained by the kernel) ---
+  bool radio_busy() const { return radio_busy_; }
+  void set_radio_busy(bool b) { radio_busy_ = b; }
+  void pin(MessageId id) { pinned_.push_back(id); }
+  void unpin(MessageId id);
+  bool is_pinned(MessageId id) const;
+  const std::vector<MessageId>& pinned() const { return pinned_; }
+
+  // --- admission control (paper Algorithm 1) ---
+  struct AdmitResult {
+    bool admitted = false;
+    std::vector<Message> evicted;  ///< resident messages dropped to fit
+  };
+
+  /// Dry run of admit(): would `incoming` be accepted right now?
+  /// `newcomer_view`, when given, is the message state the policy rates
+  /// the newcomer by (e.g. the sender-side pre-split copy) while byte
+  /// accounting still uses `incoming`.
+  bool would_admit(const Message& incoming, const PolicyContext& ctx,
+                   const Message* newcomer_view = nullptr) const;
+
+  /// Runs the scheduling-and-drop admission: evicts lowest-priority
+  /// resident messages (never pinned ones) until `incoming` fits, or
+  /// rejects `incoming` when the policy ranks it below every evictable
+  /// resident. On success the message is inserted.
+  AdmitResult admit(Message incoming, const PolicyContext& ctx,
+                    const Message* newcomer_view = nullptr);
+
+ private:
+  /// Shared victim-selection loop; `victims` receives resident victims in
+  /// eviction order. Returns true if `incoming` would be admitted.
+  bool plan_admission(const Message& incoming, const PolicyContext& ctx,
+                      const Message* newcomer_view,
+                      std::vector<MessageId>* victims) const;
+
+  NodeId id_;
+  MobilityPtr mobility_;
+  Buffer buffer_;
+  const Router* router_;
+  const BufferPolicy* policy_;
+  sdsrp::IntermeetingEstimator imt_;
+  sdsrp::DroppedList dropped_;
+  std::unordered_set<MessageId> delivered_;
+  std::unordered_set<MessageId> known_delivered_;
+  std::vector<MessageId> pinned_;
+  bool radio_busy_ = false;
+};
+
+}  // namespace dtn

@@ -1,0 +1,70 @@
+// WorldObserver: event hooks for report generation and instrumentation,
+// mirroring the ONE simulator's report-listener architecture. Observers
+// are non-owning and are invoked synchronously from the kernel in
+// deterministic order (registration order).
+#pragma once
+
+#include "src/core/message.hpp"
+#include "src/core/types.hpp"
+#include "src/net/contact_tracker.hpp"
+
+namespace dtn {
+
+class World;
+struct Transfer;
+
+class WorldObserver {
+ public:
+  virtual ~WorldObserver() = default;
+
+  /// A new message entered the network at its source.
+  virtual void on_message_created(const Message& m, SimTime now) {
+    (void)m;
+    (void)now;
+  }
+
+  /// First-time arrival at the destination.
+  virtual void on_delivery(const Message& copy, NodeId from, NodeId to,
+                           SimTime now) {
+    (void)copy;
+    (void)from;
+    (void)to;
+    (void)now;
+  }
+
+  virtual void on_transfer_started(const Transfer& t) { (void)t; }
+  /// `delivered` is true when the receiver was the destination.
+  virtual void on_transfer_completed(const Transfer& t, bool delivered) {
+    (void)t;
+    (void)delivered;
+  }
+  virtual void on_transfer_aborted(const Transfer& t) { (void)t; }
+
+  /// A buffer eviction decided by the active policy.
+  virtual void on_drop(NodeId node, const Message& m, SimTime now) {
+    (void)node;
+    (void)m;
+    (void)now;
+  }
+
+  /// A copy removed because its TTL ran out.
+  virtual void on_ttl_expired(NodeId node, const Message& m, SimTime now) {
+    (void)node;
+    (void)m;
+    (void)now;
+  }
+
+  virtual void on_link_up(const NodePair& p, SimTime now) {
+    (void)p;
+    (void)now;
+  }
+  virtual void on_link_down(const NodePair& p, SimTime now) {
+    (void)p;
+    (void)now;
+  }
+
+  /// Called at the end of every kernel step.
+  virtual void on_step_end(const World& world) { (void)world; }
+};
+
+}  // namespace dtn

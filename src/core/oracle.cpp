@@ -1,0 +1,51 @@
+#include "src/core/oracle.hpp"
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+void GlobalRegistry::on_created(MessageId id, NodeId source) {
+  DTN_REQUIRE(entries_.count(id) == 0, "registry: duplicate message id");
+  Entry e;
+  e.source = source;
+  e.holders.insert(source);
+  entries_.emplace(id, std::move(e));
+}
+
+void GlobalRegistry::on_copy_received(MessageId id, NodeId holder) {
+  const auto it = entries_.find(id);
+  DTN_REQUIRE(it != entries_.end(), "registry: receive of unknown message");
+  Entry& e = it->second;
+  if (holder != e.source) e.seen.insert(holder);
+  e.holders.insert(holder);
+}
+
+void GlobalRegistry::on_copy_removed(MessageId id, NodeId holder,
+                                     bool dropped) {
+  const auto it = entries_.find(id);
+  DTN_REQUIRE(it != entries_.end(), "registry: removal of unknown message");
+  it->second.holders.erase(holder);
+  if (dropped) ++it->second.drops;
+}
+
+const GlobalRegistry::Entry* GlobalRegistry::entry(MessageId id) const {
+  const auto it = entries_.find(id);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+double GlobalRegistry::m_seen(MessageId id) const {
+  const Entry* e = entry(id);
+  return e ? static_cast<double>(e->seen.size()) : 0.0;
+}
+
+double GlobalRegistry::n_holding(MessageId id) const {
+  const Entry* e = entry(id);
+  return e ? static_cast<double>(e->holders.size()) : 0.0;
+}
+
+double GlobalRegistry::drops(MessageId id) const {
+  const Entry* e = entry(id);
+  return e ? static_cast<double>(e->drops) : 0.0;
+}
+
+}  // namespace dtn

@@ -1,0 +1,52 @@
+// GlobalRegistry: omniscient per-message bookkeeping.
+//
+// The simulator maintains ground-truth m_i (nodes that have ever held a
+// copy, excluding the source), n_i (nodes currently holding) and drop
+// counts for every message. It serves three purposes:
+//   * the SDSRP-Oracle policy (paper's "centralized control channel"
+//     assumption in Section III-C) reads it instead of the distributed
+//     estimators — an upper bound for the estimator ablation;
+//   * the estimator-accuracy ablation bench compares m̂/n̂ against it;
+//   * consistency checks in integration tests.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/types.hpp"
+
+namespace dtn {
+
+class GlobalRegistry {
+ public:
+  void on_created(MessageId id, NodeId source);
+
+  /// A node received its (first current) copy of the message.
+  void on_copy_received(MessageId id, NodeId holder);
+
+  /// A node no longer holds the message; `dropped` distinguishes a buffer
+  /// drop from TTL expiry / custody forwarding.
+  void on_copy_removed(MessageId id, NodeId holder, bool dropped);
+
+  /// m_i(T_i): nodes that have ever held a copy, excluding the source.
+  double m_seen(MessageId id) const;
+  /// n_i(T_i): nodes currently holding at least one copy.
+  double n_holding(MessageId id) const;
+  /// Number of drop events recorded for the message.
+  double drops(MessageId id) const;
+
+  bool known(MessageId id) const { return entries_.count(id) > 0; }
+
+ private:
+  struct Entry {
+    NodeId source = kNoNode;
+    std::unordered_set<NodeId> seen;     ///< ever held, excluding source
+    std::unordered_set<NodeId> holders;  ///< currently holding
+    int drops = 0;
+  };
+  const Entry* entry(MessageId id) const;
+
+  std::unordered_map<MessageId, Entry> entries_;
+};
+
+}  // namespace dtn

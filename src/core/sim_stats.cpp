@@ -1,0 +1,3 @@
+// SimStats is header-only today; this TU anchors the target and keeps a
+// single definition point if out-of-line members are added later.
+#include "src/core/sim_stats.hpp"

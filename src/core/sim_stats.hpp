@@ -1,0 +1,51 @@
+// SimStats: the metric counters the paper's evaluation reports, with the
+// same definitions the ONE simulator uses.
+#pragma once
+
+#include <cstddef>
+
+#include "src/util/stats.hpp"
+
+namespace dtn {
+
+struct SimStats {
+  std::size_t created = 0;              ///< messages generated
+  std::size_t delivered = 0;            ///< first-time destination arrivals
+  std::size_t transfers_started = 0;
+  std::size_t transfers_completed = 0;  ///< "relayed" in ONE terms
+  std::size_t transfers_aborted = 0;    ///< link broke mid-transfer
+  std::size_t admission_rejected = 0;   ///< receiver refused at completion
+  std::size_t duplicates = 0;           ///< arrival of an already-held copy
+  std::size_t drops = 0;                ///< policy evictions (overflow)
+  std::size_t ttl_expired = 0;          ///< copies removed by TTL
+  std::size_t source_rejected = 0;      ///< new message refused at creation
+  std::size_t ack_purged = 0;           ///< copies removed by ACK gossip
+
+  RunningStats hopcounts;         ///< hops of each first delivery
+  RunningStats latency;           ///< creation->delivery delay (s)
+  RunningStats buffer_occupancy;  ///< sampled occupancy in [0,1]
+
+  /// Delivered / created (paper metric 1).
+  double delivery_ratio() const {
+    return created ? static_cast<double>(delivered) /
+                         static_cast<double>(created)
+                   : 0.0;
+  }
+
+  /// Mean hops over successful deliveries (paper metric 2).
+  double avg_hopcount() const { return hopcounts.mean(); }
+
+  /// (relayed - delivered) / delivered (paper metric 3). Zero when nothing
+  /// was delivered.
+  double overhead_ratio() const {
+    return delivered ? (static_cast<double>(transfers_completed) -
+                        static_cast<double>(delivered)) /
+                           static_cast<double>(delivered)
+                     : 0.0;
+  }
+
+  /// Mean end-to-end delay of successful deliveries.
+  double avg_latency() const { return latency.mean(); }
+};
+
+}  // namespace dtn

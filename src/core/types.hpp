@@ -1,0 +1,15 @@
+// Fundamental identifier and time types of the DTN simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace dtn {
+
+using NodeId = std::uint32_t;
+using MessageId = std::uint64_t;
+/// Simulation time in seconds since simulation start.
+using SimTime = double;
+
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+}  // namespace dtn

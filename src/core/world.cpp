@@ -1,0 +1,371 @@
+#include "src/core/world.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+World::World(const WorldConfig& cfg) : cfg_(cfg), tracker_(cfg.range) {
+  DTN_REQUIRE(cfg.step > 0.0, "World: step must be positive");
+  DTN_REQUIRE(cfg.duration > 0.0, "World: duration must be positive");
+  DTN_REQUIRE(cfg.bandwidth > 0.0, "World: bandwidth must be positive");
+  next_occupancy_sample_ = cfg.occupancy_sample_interval;
+}
+
+void World::set_router(std::unique_ptr<Router> router) {
+  DTN_REQUIRE(nodes_.empty(), "World: set_router before adding nodes");
+  router_ = std::move(router);
+}
+
+void World::set_policy(std::unique_ptr<BufferPolicy> policy) {
+  DTN_REQUIRE(nodes_.empty(), "World: set_policy before adding nodes");
+  policy_ = std::move(policy);
+}
+
+NodeId World::add_node(MobilityPtr mobility, std::int64_t buffer_capacity,
+                       const NodeEstimatorConfig& est_cfg) {
+  DTN_REQUIRE(router_ != nullptr && policy_ != nullptr,
+              "World: set router and policy before adding nodes");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, std::move(mobility),
+                                          buffer_capacity, router_.get(),
+                                          policy_.get(), est_cfg));
+  return id;
+}
+
+void World::enable_traffic(const MessageGenConfig& cfg, std::uint64_t seed) {
+  gen_ = std::make_unique<MessageGenerator>(cfg, nodes_.size(), Rng(seed));
+}
+
+void World::add_observer(WorldObserver* observer) {
+  DTN_REQUIRE(observer != nullptr, "add_observer: null observer");
+  observers_.push_back(observer);
+}
+
+Node& World::node(NodeId id) {
+  DTN_REQUIRE(id < nodes_.size(), "World: node id out of range");
+  return *nodes_[id];
+}
+
+const Node& World::node(NodeId id) const {
+  DTN_REQUIRE(id < nodes_.size(), "World: node id out of range");
+  return *nodes_[id];
+}
+
+PolicyContext World::ctx_for(const Node& n) const {
+  PolicyContext ctx;
+  ctx.now = now_;
+  ctx.n_nodes = nodes_.size();
+  ctx.node = &n;
+  ctx.oracle = &registry_;
+  return ctx;
+}
+
+void World::advance_mobility() {
+  for (auto& n : nodes_) n->mobility().advance(cfg_.step);
+}
+
+void World::step() {
+  DTN_REQUIRE(nodes_.size() >= 2, "World: need at least two nodes to run");
+  now_ += cfg_.step;
+  advance_mobility();
+
+  std::vector<Vec2> positions;
+  positions.reserve(nodes_.size());
+  for (const auto& n : nodes_) positions.push_back(n->mobility().position());
+  const ContactChurn churn = tracker_.update(positions);
+
+  for (const NodePair& p : churn.went_down) process_link_down(p);
+  for (const NodePair& p : churn.went_up) process_link_up(p);
+
+  complete_due_transfers();
+  if (gen_ != nullptr) generate_traffic();
+  purge_ttl();
+  start_transfers();
+
+  if (now_ + 1e-9 >= next_occupancy_sample_) {
+    sample_occupancy();
+    next_occupancy_sample_ += cfg_.occupancy_sample_interval;
+  }
+  notify([this](WorldObserver& o) { o.on_step_end(*this); });
+}
+
+void World::run_until(SimTime t) {
+  while (now_ + cfg_.step <= t + 1e-9) step();
+}
+
+void World::run() { run_until(cfg_.duration); }
+
+void World::process_link_down(const NodePair& p) {
+  abort_transfers_on(p);
+  Node& a = node(static_cast<NodeId>(p.first));
+  Node& b = node(static_cast<NodeId>(p.second));
+  a.intermeeting().on_contact_end(p.second, now_);
+  b.intermeeting().on_contact_end(p.first, now_);
+  notify([&p, this](WorldObserver& o) { o.on_link_down(p, now_); });
+  if (cfg_.collect_intermeeting) {
+    pair_last_end_[p] = now_;
+    const auto it = pair_up_since_.find(p);
+    if (it != pair_up_since_.end()) {
+      contact_samples_.push_back(now_ - it->second);
+      pair_up_since_.erase(it);
+    }
+  }
+}
+
+void World::process_link_up(const NodePair& p) {
+  Node& a = node(static_cast<NodeId>(p.first));
+  Node& b = node(static_cast<NodeId>(p.second));
+  a.intermeeting().on_contact_start(p.second, now_);
+  b.intermeeting().on_contact_start(p.first, now_);
+  router_->on_link_up(a, b, now_);
+  if (cfg_.ack_gossip) {
+    for (MessageId id : b.known_delivered()) a.learn_delivered(id);
+    for (MessageId id : a.known_delivered()) b.learn_delivered(id);
+    purge_acked(a);
+    purge_acked(b);
+  }
+  if (policy_->uses_dropped_list()) {
+    // Fig. 5 gossip: exchange and reconcile drop records on encounter.
+    a.dropped_list().merge_from(b.dropped_list());
+    b.dropped_list().merge_from(a.dropped_list());
+  }
+  if (cfg_.collect_intermeeting) {
+    const auto it = pair_last_end_.find(p);
+    if (it != pair_last_end_.end() && now_ > it->second) {
+      imt_samples_.push_back(now_ - it->second);
+    }
+    pair_up_since_[p] = now_;
+  }
+  notify([&p, this](WorldObserver& o) { o.on_link_up(p, now_); });
+}
+
+void World::abort_transfers_on(const NodePair& p) {
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    const NodePair tp = make_pair_sorted(it->from, it->to);
+    if (tp == p) {
+      Node& from = node(it->from);
+      Node& to = node(it->to);
+      from.unpin(it->msg);
+      from.set_radio_busy(false);
+      to.set_radio_busy(false);
+      ++stats_.transfers_aborted;
+      const Transfer aborted = *it;
+      notify([&aborted](WorldObserver& o) { o.on_transfer_aborted(aborted); });
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void World::complete_due_transfers() {
+  // Completion order: by eta, then sender id — deterministic.
+  std::vector<std::size_t> due;
+  for (std::size_t i = 0; i < transfers_.size(); ++i) {
+    if (transfers_[i].eta <= now_ + 1e-9) due.push_back(i);
+  }
+  std::sort(due.begin(), due.end(), [this](std::size_t a, std::size_t b) {
+    if (transfers_[a].eta != transfers_[b].eta)
+      return transfers_[a].eta < transfers_[b].eta;
+    return transfers_[a].from < transfers_[b].from;
+  });
+  std::vector<Transfer> done;
+  done.reserve(due.size());
+  for (std::size_t i : due) done.push_back(transfers_[i]);
+  // Erase completed entries (descending index).
+  std::sort(due.rbegin(), due.rend());
+  for (std::size_t i : due) {
+    transfers_.erase(transfers_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  for (const Transfer& t : done) handle_completion(t);
+}
+
+void World::handle_completion(const Transfer& t) {
+  Node& from = node(t.from);
+  Node& to = node(t.to);
+  from.unpin(t.msg);
+  from.set_radio_busy(false);
+  to.set_radio_busy(false);
+
+  Message* copy = from.buffer().find(t.msg);
+  DTN_REQUIRE(copy != nullptr, "completion: sender copy vanished");
+
+  if (copy->expired(now_)) {
+    // Died in flight: the payload is useless on both ends.
+    const Message dead = from.buffer().take(t.msg);
+    registry_.on_copy_removed(t.msg, t.from, /*dropped=*/false);
+    ++stats_.ttl_expired;
+    ++stats_.transfers_aborted;
+    notify([&](WorldObserver& o) {
+      o.on_transfer_aborted(t);
+      o.on_ttl_expired(t.from, dead, now_);
+    });
+    return;
+  }
+
+  const bool delivered = (t.to == copy->destination);
+  if (delivered) {
+    ++stats_.transfers_completed;
+    notify([&t](WorldObserver& o) { o.on_transfer_completed(t, true); });
+    if (!to.has_delivered(t.msg)) {
+      to.mark_delivered(t.msg);
+      ++stats_.delivered;
+      stats_.hopcounts.add(static_cast<double>(copy->hops) + 1.0);
+      stats_.latency.add(now_ - copy->created);
+      notify([&](WorldObserver& o) {
+        o.on_delivery(*copy, t.from, t.to, now_);
+      });
+      if (cfg_.ack_gossip) {
+        // The destination acknowledges in-contact: both ends learn, and
+        // the sender can free its now-useless copy immediately.
+        to.learn_delivered(t.msg);
+        from.learn_delivered(t.msg);
+      }
+    } else {
+      ++stats_.duplicates;
+    }
+    const bool keep = router_->on_sent(*copy, /*delivered=*/true, now_);
+    if (!keep) {
+      from.buffer().take(t.msg);
+      registry_.on_copy_removed(t.msg, t.from, /*dropped=*/false);
+    } else if (cfg_.ack_gossip) {
+      purge_acked(from);
+    }
+    return;
+  }
+
+  // Relay completion.
+  if (to.buffer().has(t.msg)) {
+    // The receiver obtained the message elsewhere mid-transfer; treat the
+    // arrival as a duplicate and leave the sender untouched.
+    ++stats_.duplicates;
+    return;
+  }
+  Message relay = router_->make_relay_copy(*copy, now_);
+  const MessageId id = relay.id;
+  const Message* view =
+      router_->rate_newcomer_as_sender_copy() ? copy : nullptr;
+  Node::AdmitResult res = to.admit(std::move(relay), ctx_for(to), view);
+  if (!res.admitted) {
+    ++stats_.admission_rejected;
+    return;  // sender keeps its copies; bandwidth was wasted
+  }
+  ++stats_.transfers_completed;
+  notify([&t](WorldObserver& o) { o.on_transfer_completed(t, false); });
+  registry_.on_copy_received(id, t.to);
+  for (const Message& ev : res.evicted) handle_drop(to, ev);
+  const bool keep = router_->on_sent(*copy, /*delivered=*/false, now_);
+  if (!keep) {
+    from.buffer().take(t.msg);
+    registry_.on_copy_removed(t.msg, t.from, /*dropped=*/false);
+  }
+}
+
+void World::generate_traffic() {
+  for (Message& m : gen_->poll(now_)) {
+    ++stats_.created;
+    const MessageId id = m.id;
+    const NodeId src = m.source;
+    registry_.on_created(id, src);
+    notify([&m, this](WorldObserver& o) { o.on_message_created(m, now_); });
+    Node& source = node(src);
+    Node::AdmitResult res = source.admit(std::move(m), ctx_for(source));
+    if (!res.admitted) {
+      ++stats_.source_rejected;
+      registry_.on_copy_removed(id, src, /*dropped=*/true);
+      if (policy_->uses_dropped_list()) {
+        source.dropped_list().record_local_drop(id, now_);
+      }
+      continue;
+    }
+    for (const Message& ev : res.evicted) handle_drop(source, ev);
+  }
+}
+
+void World::purge_ttl() {
+  for (auto& n : nodes_) {
+    for (const Message& dead : n->buffer().purge_expired(now_, n->pinned())) {
+      registry_.on_copy_removed(dead.id, n->id(), /*dropped=*/false);
+      ++stats_.ttl_expired;
+      notify([&](WorldObserver& o) { o.on_ttl_expired(n->id(), dead, now_); });
+    }
+  }
+}
+
+void World::start_transfers() {
+  for (const NodePair& p : tracker_.current()) {
+    try_start(static_cast<NodeId>(p.first), static_cast<NodeId>(p.second));
+    try_start(static_cast<NodeId>(p.second), static_cast<NodeId>(p.first));
+  }
+}
+
+void World::try_start(NodeId from_id, NodeId to_id) {
+  Node& from = node(from_id);
+  Node& to = node(to_id);
+  if (from.radio_busy() || to.radio_busy()) return;
+  const auto msg = router_->next_to_send(from, to, ctx_for(from));
+  if (!msg.has_value()) return;
+  const Message* copy = from.buffer().find(*msg);
+  DTN_REQUIRE(copy != nullptr, "router chose a message the node lacks");
+  from.pin(*msg);
+  from.set_radio_busy(true);
+  to.set_radio_busy(true);
+  Transfer t;
+  t.from = from_id;
+  t.to = to_id;
+  t.msg = *msg;
+  t.started = now_;
+  t.eta = now_ + static_cast<double>(copy->size) / cfg_.bandwidth;
+  transfers_.push_back(t);
+  ++stats_.transfers_started;
+  notify([&t](WorldObserver& o) { o.on_transfer_started(t); });
+}
+
+void World::handle_drop(Node& n, const Message& m) {
+  ++stats_.drops;
+  registry_.on_copy_removed(m.id, n.id(), /*dropped=*/true);
+  if (policy_->uses_dropped_list()) {
+    n.dropped_list().record_local_drop(m.id, now_);
+  }
+  notify([&](WorldObserver& o) { o.on_drop(n.id(), m, now_); });
+}
+
+bool World::inject_message(Message m) {
+  ++stats_.created;
+  const MessageId id = m.id;
+  const NodeId src = m.source;
+  DTN_REQUIRE(src < nodes_.size(), "inject: source out of range");
+  registry_.on_created(id, src);
+  notify([&m, this](WorldObserver& o) { o.on_message_created(m, now_); });
+  Node& source = node(src);
+  Node::AdmitResult res = source.admit(std::move(m), ctx_for(source));
+  if (!res.admitted) {
+    ++stats_.source_rejected;
+    registry_.on_copy_removed(id, src, /*dropped=*/true);
+    return false;
+  }
+  for (const Message& ev : res.evicted) handle_drop(source, ev);
+  return true;
+}
+
+void World::purge_acked(Node& n) {
+  std::vector<MessageId> doomed;
+  for (const Message& m : n.buffer().messages()) {
+    if (n.knows_delivered(m.id) && !n.is_pinned(m.id)) doomed.push_back(m.id);
+  }
+  for (MessageId id : doomed) {
+    n.buffer().take(id);
+    registry_.on_copy_removed(id, n.id(), /*dropped=*/false);
+    ++stats_.ack_purged;
+  }
+}
+
+void World::sample_occupancy() {
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n->buffer().occupancy();
+  stats_.buffer_occupancy.add(total / static_cast<double>(nodes_.size()));
+}
+
+}  // namespace dtn

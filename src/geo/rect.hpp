@@ -1,0 +1,67 @@
+// Axis-aligned world rectangle: the simulation area from the paper's
+// Table II (4500 m x 3400 m).
+#pragma once
+
+#include <algorithm>
+
+#include "src/geo/vec2.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+
+struct Rect {
+  Vec2 min;  ///< lower-left corner
+  Vec2 max;  ///< upper-right corner
+
+  Rect() = default;
+  Rect(Vec2 lo, Vec2 hi) : min(lo), max(hi) {
+    DTN_REQUIRE(hi.x >= lo.x && hi.y >= lo.y, "Rect: inverted corners");
+  }
+  /// Rectangle anchored at the origin with the given extent.
+  static Rect sized(double width, double height) {
+    return Rect({0.0, 0.0}, {width, height});
+  }
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  double area() const { return width() * height(); }
+  Vec2 center() const { return {(min.x + max.x) / 2, (min.y + max.y) / 2}; }
+
+  bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Nearest point inside the rectangle.
+  Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+
+  /// Reflects a point that stepped outside back across the violated edge
+  /// (used by random-walk style mobility at area borders).
+  Vec2 reflect(Vec2 p) const;
+
+  /// Uniformly random interior point.
+  Vec2 sample(Rng& rng) const {
+    return {rng.uniform(min.x, max.x), rng.uniform(min.y, max.y)};
+  }
+};
+
+inline Vec2 Rect::reflect(Vec2 p) const {
+  double x = p.x, y = p.y;
+  const double w = width(), h = height();
+  // Fold the coordinate back into range; loop handles large oversteps.
+  while (x < min.x || x > max.x) {
+    if (x < min.x) x = 2 * min.x - x;
+    if (x > max.x) x = 2 * max.x - x;
+    if (w <= 0) { x = min.x; break; }
+  }
+  while (y < min.y || y > max.y) {
+    if (y < min.y) y = 2 * min.y - y;
+    if (y > max.y) y = 2 * max.y - y;
+    if (h <= 0) { y = min.y; break; }
+  }
+  return {x, y};
+}
+
+}  // namespace dtn

@@ -1,0 +1,78 @@
+#include "src/geo/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+SpatialGrid::SpatialGrid(double cell) : cell_(cell) {
+  DTN_REQUIRE(cell > 0.0, "SpatialGrid: cell size must be positive");
+}
+
+SpatialGrid::CellKey SpatialGrid::key_of(Vec2 p) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
+  return key(cx, cy);
+}
+
+void SpatialGrid::rebuild(const std::vector<Vec2>& positions) {
+  positions_ = positions;
+  cells_.clear();
+  cells_.reserve(positions.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    cells_[key_of(positions_[i])].push_back(i);
+  }
+}
+
+void SpatialGrid::for_each_pair_within(
+    double radius,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  DTN_REQUIRE(radius <= cell_ + 1e-9,
+              "SpatialGrid: query radius exceeds cell size");
+  const double r2 = radius * radius;
+  // Collect candidate pairs, then emit them sorted so iteration order does
+  // not depend on unordered_map layout (determinism across libstdc++s).
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const Vec2 p = positions_[i];
+    const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
+    const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(key(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        for (std::size_t j : it->second) {
+          if (j <= i) continue;
+          if (distance2(p, positions_[j]) <= r2) pairs.emplace_back(i, j);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (const auto& [i, j] : pairs) fn(i, j);
+}
+
+std::vector<std::size_t> SpatialGrid::query(Vec2 p, double radius,
+                                            std::size_t exclude) const {
+  const double r2 = radius * radius;
+  std::vector<std::size_t> out;
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
+  const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
+  for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+    for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+      const auto it = cells_.find(key(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (std::size_t j : it->second) {
+        if (j == exclude) continue;
+        if (distance2(p, positions_[j]) <= r2) out.push_back(j);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dtn

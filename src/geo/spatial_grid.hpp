@@ -1,0 +1,49 @@
+// Uniform spatial hash grid for O(n) radius-limited neighbor queries.
+//
+// The contact detector rebuilds the grid each movement step and enumerates
+// all node pairs within transmission range without the O(n^2) scan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geo/vec2.hpp"
+
+namespace dtn {
+
+class SpatialGrid {
+ public:
+  /// `cell` should be >= the query radius for best performance.
+  explicit SpatialGrid(double cell);
+
+  /// Replaces the content with `positions`; index i is the node id.
+  void rebuild(const std::vector<Vec2>& positions);
+
+  /// Calls fn(i, j) once per unordered pair with distance(pi,pj) <= radius,
+  /// i < j, in deterministic (i, j) order.
+  void for_each_pair_within(double radius,
+                            const std::function<void(std::size_t,
+                                                     std::size_t)>& fn) const;
+
+  /// Ids of nodes within `radius` of `p` (excluding `exclude` if given).
+  std::vector<std::size_t> query(Vec2 p, double radius,
+                                 std::size_t exclude = SIZE_MAX) const;
+
+  std::size_t size() const { return positions_.size(); }
+
+ private:
+  using CellKey = std::int64_t;
+  CellKey key(std::int64_t cx, std::int64_t cy) const {
+    // Pack two 32-bit cell coordinates; fine for any realistic world.
+    return (cx << 32) ^ (cy & 0xFFFFFFFFLL);
+  }
+  CellKey key_of(Vec2 p) const;
+
+  double cell_;
+  std::vector<Vec2> positions_;
+  std::unordered_map<CellKey, std::vector<std::size_t>> cells_;
+};
+
+}  // namespace dtn

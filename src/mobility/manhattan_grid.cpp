@@ -1,0 +1,89 @@
+#include "src/mobility/manhattan_grid.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+ManhattanGridModel::ManhattanGridModel(const ManhattanGridConfig& cfg,
+                                       Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  DTN_REQUIRE(cfg.blocks_x >= 1 && cfg.blocks_y >= 1,
+              "manhattan-grid: need at least one block each way");
+  DTN_REQUIRE(cfg.v_min > 0.0 && cfg.v_max >= cfg.v_min,
+              "manhattan-grid: bad speed range");
+  DTN_REQUIRE(cfg.p_turn >= 0.0 && cfg.p_turn <= 1.0,
+              "manhattan-grid: p_turn out of [0,1]");
+  // Start at a random intersection heading in a random street direction.
+  tx_ = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(cfg_.blocks_x)));
+  ty_ = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(cfg_.blocks_y)));
+  pos_ = intersection(tx_, ty_);
+  speed_ = rng_.uniform(cfg_.v_min, cfg_.v_max);
+  choose_next_target();
+}
+
+Vec2 ManhattanGridModel::intersection(std::size_t ix, std::size_t iy) const {
+  const double sx = cfg_.area.width() / static_cast<double>(cfg_.blocks_x);
+  const double sy = cfg_.area.height() / static_cast<double>(cfg_.blocks_y);
+  return {cfg_.area.min.x + sx * static_cast<double>(ix),
+          cfg_.area.min.y + sy * static_cast<double>(iy)};
+}
+
+void ManhattanGridModel::choose_next_target() {
+  // Candidate moves: straight continues (dir unchanged), or turn.
+  const bool had_heading = (dir_x_ != 0 || dir_y_ != 0);
+  bool turn = !had_heading || rng_.bernoulli(cfg_.p_turn);
+  if (turn) {
+    // Perpendicular (or initial random) direction.
+    if (!had_heading || dir_x_ != 0) {
+      dir_x_ = 0;
+      dir_y_ = rng_.bernoulli(0.5) ? 1 : -1;
+    } else {
+      dir_y_ = 0;
+      dir_x_ = rng_.bernoulli(0.5) ? 1 : -1;
+    }
+  }
+  // Reflect at the grid boundary.
+  auto next_x = static_cast<std::int64_t>(tx_) + dir_x_;
+  auto next_y = static_cast<std::int64_t>(ty_) + dir_y_;
+  if (next_x < 0 || next_x > static_cast<std::int64_t>(cfg_.blocks_x)) {
+    dir_x_ = -dir_x_;
+    next_x = static_cast<std::int64_t>(tx_) + dir_x_;
+  }
+  if (next_y < 0 || next_y > static_cast<std::int64_t>(cfg_.blocks_y)) {
+    dir_y_ = -dir_y_;
+    next_y = static_cast<std::int64_t>(ty_) + dir_y_;
+  }
+  tx_ = static_cast<std::size_t>(next_x);
+  ty_ = static_cast<std::size_t>(next_y);
+  speed_ = rng_.uniform(cfg_.v_min, cfg_.v_max);
+}
+
+void ManhattanGridModel::advance(double dt) {
+  DTN_REQUIRE(dt >= 0.0, "advance: negative dt");
+  while (dt > 0.0) {
+    if (pause_left_ > 0.0) {
+      const double p = std::min(pause_left_, dt);
+      pause_left_ -= p;
+      dt -= p;
+      continue;
+    }
+    const Vec2 target = intersection(tx_, ty_);
+    const Vec2 to_target = target - pos_;
+    const double dist = to_target.norm();
+    const double step = speed_ * dt;
+    if (step < dist) {
+      pos_ += to_target.normalized() * step;
+      return;
+    }
+    pos_ = target;
+    dt -= (speed_ > 0.0) ? dist / speed_ : dt;
+    pause_left_ = rng_.uniform(cfg_.pause_min, cfg_.pause_max);
+    choose_next_target();
+  }
+}
+
+}  // namespace dtn

@@ -1,0 +1,54 @@
+// Manhattan-grid mobility: nodes move along a regular street grid,
+// continuing straight through intersections with high probability and
+// occasionally turning. A standard urban mobility model in the DTN
+// literature — between random-waypoint's uniformity and the taxi fleet's
+// hotspot heterogeneity; useful for sensitivity studies of the
+// intermeeting-time assumption (paper Section III-A).
+#pragma once
+
+#include <cstddef>
+
+#include "src/geo/rect.hpp"
+#include "src/mobility/mobility_model.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+
+struct ManhattanGridConfig {
+  Rect area = Rect::sized(4500.0, 3400.0);
+  std::size_t blocks_x = 9;  ///< number of street cells horizontally
+  std::size_t blocks_y = 7;  ///< vertically
+  double v_min = 2.0;        ///< m/s
+  double v_max = 2.0;
+  double p_turn = 0.25;      ///< per-intersection probability of turning
+                             ///< (split evenly between left and right)
+  double pause_min = 0.0;    ///< pause at intersections (s)
+  double pause_max = 0.0;
+};
+
+class ManhattanGridModel final : public MobilityModel {
+ public:
+  ManhattanGridModel(const ManhattanGridConfig& cfg, Rng rng);
+
+  void advance(double dt) override;
+  Vec2 position() const override { return pos_; }
+  const char* name() const override { return "manhattan-grid"; }
+
+  /// The intersection grid coordinates the node is heading to.
+  std::size_t target_ix() const { return tx_; }
+  std::size_t target_iy() const { return ty_; }
+
+ private:
+  Vec2 intersection(std::size_t ix, std::size_t iy) const;
+  void choose_next_target();
+
+  ManhattanGridConfig cfg_;
+  Rng rng_;
+  Vec2 pos_;
+  std::size_t tx_ = 0, ty_ = 0;   ///< target intersection indices
+  int dir_x_ = 0, dir_y_ = 0;     ///< current heading in grid steps
+  double speed_ = 1.0;
+  double pause_left_ = 0.0;
+};
+
+}  // namespace dtn

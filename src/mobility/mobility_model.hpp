@@ -1,0 +1,30 @@
+// Mobility model interface.
+//
+// The simulation kernel samples movement in fixed steps: it calls
+// advance(dt) once per step and then reads position(). Implementations own
+// their RNG stream, so a node's trajectory is a pure function of its seed.
+#pragma once
+
+#include <memory>
+
+#include "src/geo/vec2.hpp"
+
+namespace dtn {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Moves the node forward by dt seconds (dt >= 0).
+  virtual void advance(double dt) = 0;
+
+  /// Current position in meters.
+  virtual Vec2 position() const = 0;
+
+  /// Human-readable model name (for reports).
+  virtual const char* name() const = 0;
+};
+
+using MobilityPtr = std::unique_ptr<MobilityModel>;
+
+}  // namespace dtn

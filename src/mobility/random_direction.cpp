@@ -1,0 +1,55 @@
+#include "src/mobility/random_direction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+RandomDirectionModel::RandomDirectionModel(const RandomDirectionConfig& cfg,
+                                           Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  DTN_REQUIRE(cfg.v_min > 0.0 && cfg.v_max >= cfg.v_min,
+              "random-direction: bad speed range");
+  pos_ = cfg_.area.sample(rng_);
+  new_leg();
+}
+
+void RandomDirectionModel::new_leg() {
+  const double theta = rng_.uniform(0.0, 2.0 * 3.14159265358979323846);
+  dir_ = {std::cos(theta), std::sin(theta)};
+  speed_ = rng_.uniform(cfg_.v_min, cfg_.v_max);
+  // Distance to the border along dir_.
+  double t = std::numeric_limits<double>::infinity();
+  if (dir_.x > 0) t = std::min(t, (cfg_.area.max.x - pos_.x) / dir_.x);
+  if (dir_.x < 0) t = std::min(t, (cfg_.area.min.x - pos_.x) / dir_.x);
+  if (dir_.y > 0) t = std::min(t, (cfg_.area.max.y - pos_.y) / dir_.y);
+  if (dir_.y < 0) t = std::min(t, (cfg_.area.min.y - pos_.y) / dir_.y);
+  leg_left_ = std::max(0.0, std::isfinite(t) ? t : 0.0);
+}
+
+void RandomDirectionModel::advance(double dt) {
+  DTN_REQUIRE(dt >= 0.0, "advance: negative dt");
+  while (dt > 0.0) {
+    if (pause_left_ > 0.0) {
+      const double p = std::min(pause_left_, dt);
+      pause_left_ -= p;
+      dt -= p;
+      continue;
+    }
+    const double step = speed_ * dt;
+    if (step < leg_left_) {
+      pos_ += dir_ * step;
+      leg_left_ -= step;
+      return;
+    }
+    pos_ = cfg_.area.clamp(pos_ + dir_ * leg_left_);
+    dt -= (speed_ > 0.0) ? leg_left_ / speed_ : dt;
+    pause_left_ = rng_.uniform(cfg_.pause_min, cfg_.pause_max);
+    new_leg();
+  }
+}
+
+}  // namespace dtn

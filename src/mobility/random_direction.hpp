@@ -1,0 +1,40 @@
+// Random-direction mobility: pick a heading, travel until the area border
+// is reached, pause, pick a new heading. Third mobility family cited by the
+// paper as having exponential intermeeting tails.
+#pragma once
+
+#include "src/geo/rect.hpp"
+#include "src/mobility/mobility_model.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+
+struct RandomDirectionConfig {
+  Rect area = Rect::sized(4500.0, 3400.0);
+  double v_min = 2.0;
+  double v_max = 2.0;
+  double pause_min = 0.0;
+  double pause_max = 0.0;
+};
+
+class RandomDirectionModel final : public MobilityModel {
+ public:
+  RandomDirectionModel(const RandomDirectionConfig& cfg, Rng rng);
+
+  void advance(double dt) override;
+  Vec2 position() const override { return pos_; }
+  const char* name() const override { return "random-direction"; }
+
+ private:
+  void new_leg();
+
+  RandomDirectionConfig cfg_;
+  Rng rng_;
+  Vec2 pos_;
+  Vec2 dir_;            ///< unit heading
+  double speed_ = 0.0;
+  double leg_left_ = 0.0;    ///< distance until the border on this leg
+  double pause_left_ = 0.0;
+};
+
+}  // namespace dtn

@@ -1,0 +1,47 @@
+#include "src/mobility/random_walk.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+RandomWalkModel::RandomWalkModel(const RandomWalkConfig& cfg, Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  DTN_REQUIRE(cfg.v_min > 0.0 && cfg.v_max >= cfg.v_min,
+              "random-walk: bad speed range");
+  DTN_REQUIRE(cfg.epoch > 0.0, "random-walk: epoch must be positive");
+  pos_ = cfg_.area.sample(rng_);
+  new_epoch();
+}
+
+void RandomWalkModel::new_epoch() {
+  const double theta = rng_.uniform(0.0, 2.0 * 3.14159265358979323846);
+  const double speed = rng_.uniform(cfg_.v_min, cfg_.v_max);
+  velocity_ = {speed * std::cos(theta), speed * std::sin(theta)};
+  epoch_left_ = cfg_.epoch;
+}
+
+void RandomWalkModel::advance(double dt) {
+  DTN_REQUIRE(dt >= 0.0, "advance: negative dt");
+  while (dt > 0.0) {
+    const double step = std::min(dt, epoch_left_);
+    Vec2 next = pos_ + velocity_ * step;
+    if (!cfg_.area.contains(next)) {
+      // Reflect position and flip the velocity component(s) that crossed.
+      if (next.x < cfg_.area.min.x || next.x > cfg_.area.max.x) {
+        velocity_.x = -velocity_.x;
+      }
+      if (next.y < cfg_.area.min.y || next.y > cfg_.area.max.y) {
+        velocity_.y = -velocity_.y;
+      }
+      next = cfg_.area.reflect(next);
+    }
+    pos_ = next;
+    epoch_left_ -= step;
+    dt -= step;
+    if (epoch_left_ <= 0.0) new_epoch();
+  }
+}
+
+}  // namespace dtn

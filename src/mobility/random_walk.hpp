@@ -1,0 +1,38 @@
+// Random-walk mobility: repeatedly pick a uniformly random heading, walk
+// for a fixed epoch duration at a sampled speed, reflecting off area
+// borders. One of the mobility families for which intermeeting times are
+// known to tail off exponentially (paper Section III-A, [22]).
+#pragma once
+
+#include "src/geo/rect.hpp"
+#include "src/mobility/mobility_model.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+
+struct RandomWalkConfig {
+  Rect area = Rect::sized(4500.0, 3400.0);
+  double v_min = 2.0;        ///< m/s
+  double v_max = 2.0;
+  double epoch = 60.0;       ///< seconds per heading
+};
+
+class RandomWalkModel final : public MobilityModel {
+ public:
+  RandomWalkModel(const RandomWalkConfig& cfg, Rng rng);
+
+  void advance(double dt) override;
+  Vec2 position() const override { return pos_; }
+  const char* name() const override { return "random-walk"; }
+
+ private:
+  void new_epoch();
+
+  RandomWalkConfig cfg_;
+  Rng rng_;
+  Vec2 pos_;
+  Vec2 velocity_;
+  double epoch_left_ = 0.0;
+};
+
+}  // namespace dtn

@@ -1,0 +1,48 @@
+#include "src/mobility/random_waypoint.hpp"
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+RandomWaypointModel::RandomWaypointModel(const RandomWaypointConfig& cfg,
+                                         Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  DTN_REQUIRE(cfg.v_min > 0.0 && cfg.v_max >= cfg.v_min,
+              "random-waypoint: bad speed range");
+  DTN_REQUIRE(cfg.pause_min >= 0.0 && cfg.pause_max >= cfg.pause_min,
+              "random-waypoint: bad pause range");
+  pos_ = cfg_.area.sample(rng_);
+  start_new_trip();
+}
+
+void RandomWaypointModel::start_new_trip() {
+  dest_ = cfg_.area.sample(rng_);
+  speed_ = rng_.uniform(cfg_.v_min, cfg_.v_max);
+  if (speed_ <= 0.0) speed_ = cfg_.v_min;
+}
+
+void RandomWaypointModel::advance(double dt) {
+  DTN_REQUIRE(dt >= 0.0, "advance: negative dt");
+  while (dt > 0.0) {
+    if (pause_left_ > 0.0) {
+      const double p = std::min(pause_left_, dt);
+      pause_left_ -= p;
+      dt -= p;
+      continue;
+    }
+    const Vec2 to_dest = dest_ - pos_;
+    const double dist = to_dest.norm();
+    const double step = speed_ * dt;
+    if (step < dist) {
+      pos_ += to_dest.normalized() * step;
+      return;
+    }
+    // Reach the waypoint, consume the travel time, pause, pick the next.
+    pos_ = dest_;
+    dt -= (speed_ > 0.0) ? dist / speed_ : dt;
+    pause_left_ = rng_.uniform(cfg_.pause_min, cfg_.pause_max);
+    start_new_trip();
+  }
+}
+
+}  // namespace dtn

@@ -1,0 +1,40 @@
+// Random-waypoint mobility (the paper's synthetic scenario, Table II):
+// pick a uniform destination in the area, move toward it in a straight
+// line at a trip speed drawn from [v_min, v_max], pause for a time drawn
+// from [pause_min, pause_max], repeat.
+#pragma once
+
+#include "src/geo/rect.hpp"
+#include "src/mobility/mobility_model.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+
+struct RandomWaypointConfig {
+  Rect area = Rect::sized(4500.0, 3400.0);
+  double v_min = 2.0;      ///< m/s (paper: fixed 2 m/s)
+  double v_max = 2.0;
+  double pause_min = 0.0;  ///< s
+  double pause_max = 0.0;
+};
+
+class RandomWaypointModel final : public MobilityModel {
+ public:
+  RandomWaypointModel(const RandomWaypointConfig& cfg, Rng rng);
+
+  void advance(double dt) override;
+  Vec2 position() const override { return pos_; }
+  const char* name() const override { return "random-waypoint"; }
+
+ private:
+  void start_new_trip();
+
+  RandomWaypointConfig cfg_;
+  Rng rng_;
+  Vec2 pos_;
+  Vec2 dest_;
+  double speed_ = 0.0;
+  double pause_left_ = 0.0;
+};
+
+}  // namespace dtn

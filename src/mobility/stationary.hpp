@@ -1,0 +1,24 @@
+// Stationary "mobility": nodes pinned at fixed positions. Used by unit and
+// integration tests to build deterministic contact topologies.
+#pragma once
+
+#include "src/mobility/mobility_model.hpp"
+
+namespace dtn {
+
+class StationaryModel final : public MobilityModel {
+ public:
+  explicit StationaryModel(Vec2 pos) : pos_(pos) {}
+
+  void advance(double /*dt*/) override {}
+  Vec2 position() const override { return pos_; }
+  const char* name() const override { return "stationary"; }
+
+  /// Teleports the node (tests use this to script contact sequences).
+  void move_to(Vec2 p) { pos_ = p; }
+
+ private:
+  Vec2 pos_;
+};
+
+}  // namespace dtn

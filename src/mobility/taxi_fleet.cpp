@@ -1,0 +1,107 @@
+#include "src/mobility/taxi_fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+std::vector<Hotspot> TaxiFleetConfig::default_hotspots(const Rect& area) {
+  const double w = area.width(), h = area.height();
+  const Vec2 o = area.min;
+  // Fractions of the area, mimicking SF: dense north-east downtown core,
+  // airport far south-east, districts in between.
+  return {
+      {{o.x + 0.70 * w, o.y + 0.82 * h}, 10.0, 220.0},  // financial district
+      {{o.x + 0.62 * w, o.y + 0.74 * h}, 7.0, 250.0},   // SoMa / Market
+      {{o.x + 0.50 * w, o.y + 0.80 * h}, 4.0, 220.0},   // Western Addition
+      {{o.x + 0.38 * w, o.y + 0.86 * h}, 3.0, 260.0},   // Richmond
+      {{o.x + 0.42 * w, o.y + 0.55 * h}, 3.0, 260.0},   // Sunset / Twin Peaks
+      {{o.x + 0.66 * w, o.y + 0.48 * h}, 2.5, 240.0},   // Mission
+      {{o.x + 0.78 * w, o.y + 0.30 * h}, 2.0, 260.0},   // Bayview
+      {{o.x + 0.85 * w, o.y + 0.08 * h}, 6.0, 300.0},   // airport
+      {{o.x + 0.20 * w, o.y + 0.30 * h}, 1.5, 300.0},   // lakeside
+  };
+}
+
+TaxiFleetModel::TaxiFleetModel(const TaxiFleetConfig& cfg, Rng rng,
+                               std::size_t home)
+    : cfg_(cfg), rng_(rng) {
+  DTN_REQUIRE(cfg_.v_min > 0.0 && cfg_.v_max >= cfg_.v_min,
+              "taxi-fleet: bad speed range");
+  DTN_REQUIRE(cfg_.pause_xm > 0.0 && cfg_.pause_alpha > 0.0,
+              "taxi-fleet: bad pause distribution");
+  DTN_REQUIRE(cfg_.cruise_prob >= 0.0 && cfg_.cruise_prob <= 1.0,
+              "taxi-fleet: cruise_prob out of [0,1]");
+  if (cfg_.hotspots.empty()) {
+    cfg_.hotspots = TaxiFleetConfig::default_hotspots(cfg_.area);
+  }
+  if (home == SIZE_MAX) {
+    std::vector<double> weights;
+    weights.reserve(cfg_.hotspots.size());
+    for (const auto& hs : cfg_.hotspots) weights.push_back(hs.weight);
+    home_ = rng_.weighted_index(weights);
+  } else {
+    DTN_REQUIRE(home < cfg_.hotspots.size(), "taxi-fleet: home out of range");
+    home_ = home;
+  }
+  // Start idling near home — fleets begin the day at their district.
+  pos_ = sample_hotspot_point(home_);
+  dest_ = pos_;
+  pause_left_ = rng_.pareto(cfg_.pause_xm, cfg_.pause_alpha);
+}
+
+Vec2 TaxiFleetModel::sample_hotspot_point(std::size_t idx) {
+  const Hotspot& hs = cfg_.hotspots[idx];
+  // Gaussian scatter around the hotspot center, clamped to the area.
+  const Vec2 p{hs.center.x + rng_.normal(0.0, hs.radius),
+               hs.center.y + rng_.normal(0.0, hs.radius)};
+  return cfg_.area.clamp(p);
+}
+
+void TaxiFleetModel::start_new_trip() {
+  if (rng_.bernoulli(cfg_.cruise_prob)) {
+    dest_ = cfg_.area.sample(rng_);  // street hail at a random point
+  } else {
+    // Gravity destination choice: weight attenuated by distance, with a
+    // bias toward the taxi's home district.
+    std::vector<double> weights;
+    weights.reserve(cfg_.hotspots.size());
+    for (std::size_t i = 0; i < cfg_.hotspots.size(); ++i) {
+      const Hotspot& hs = cfg_.hotspots[i];
+      double w = hs.weight * std::exp(-distance(pos_, hs.center) /
+                                      cfg_.gravity_scale);
+      if (i == home_) w *= cfg_.home_bias;
+      weights.push_back(w);
+    }
+    dest_ = sample_hotspot_point(rng_.weighted_index(weights));
+  }
+  speed_ = rng_.uniform(cfg_.v_min, cfg_.v_max);
+}
+
+void TaxiFleetModel::advance(double dt) {
+  DTN_REQUIRE(dt >= 0.0, "advance: negative dt");
+  while (dt > 0.0) {
+    if (pause_left_ > 0.0) {
+      const double p = std::min(pause_left_, dt);
+      pause_left_ -= p;
+      dt -= p;
+      if (pause_left_ <= 0.0) start_new_trip();
+      continue;
+    }
+    const Vec2 to_dest = dest_ - pos_;
+    const double dist = to_dest.norm();
+    const double step = speed_ * dt;
+    if (step < dist) {
+      pos_ += to_dest.normalized() * step;
+      return;
+    }
+    pos_ = dest_;
+    dt -= (speed_ > 0.0) ? dist / speed_ : dt;
+    pause_left_ =
+        std::min(rng_.pareto(cfg_.pause_xm, cfg_.pause_alpha), cfg_.pause_cap);
+  }
+}
+
+}  // namespace dtn

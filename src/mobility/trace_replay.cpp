@@ -1,0 +1,69 @@
+#include "src/mobility/trace_replay.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/settings.hpp"
+
+namespace dtn {
+
+Vec2 NodeTrace::at(double t) const {
+  if (times.empty()) return {};
+  if (t <= times.front()) return points.front();
+  if (t >= times.back()) return points.back();
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times[hi] - times[lo];
+  const double f = span > 0.0 ? (t - times[lo]) / span : 0.0;
+  return lerp(points[lo], points[hi], f);
+}
+
+TraceSet TraceSet::parse(const std::string& text) {
+  TraceSet set;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    double t, x, y;
+    std::size_t id;
+    DTN_REQUIRE(static_cast<bool>(ls >> t >> id >> x >> y),
+                "trace line " + std::to_string(lineno) + ": expected 't id x y'");
+    auto& nt = set.nodes[id];
+    DTN_REQUIRE(nt.times.empty() || t >= nt.times.back(),
+                "trace line " + std::to_string(lineno) +
+                    ": timestamps must be nondecreasing per node");
+    nt.times.push_back(t);
+    nt.points.push_back({x, y});
+  }
+  return set;
+}
+
+TraceSet TraceSet::load(const std::string& path) {
+  std::ifstream f(path);
+  DTN_REQUIRE(static_cast<bool>(f), "cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+TraceReplayModel::TraceReplayModel(NodeTrace trace) : trace_(std::move(trace)) {
+  DTN_REQUIRE(!trace_.times.empty(), "trace replay: empty trace");
+  pos_ = trace_.at(0.0);
+}
+
+void TraceReplayModel::advance(double dt) {
+  DTN_REQUIRE(dt >= 0.0, "advance: negative dt");
+  now_ += dt;
+  pos_ = trace_.at(now_);
+}
+
+}  // namespace dtn

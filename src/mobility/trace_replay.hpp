@@ -1,0 +1,59 @@
+// Trace replay: drives a node along externally recorded waypoints with
+// linear interpolation. This is the hook for plugging in the real
+// EPFL/CRAWDAD San-Francisco taxi GPS trace if it is available; the
+// bundled experiments use the synthetic TaxiFleetModel substitute.
+//
+// Trace text format (one sample per line, '#' comments allowed):
+//   <time_s> <node_id> <x_m> <y_m>
+// Samples for one node must be in nondecreasing time order. Before its
+// first sample / after its last one, the node sits at that endpoint.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/geo/vec2.hpp"
+#include "src/mobility/mobility_model.hpp"
+
+namespace dtn {
+
+/// One node's timestamped waypoint list.
+struct NodeTrace {
+  std::vector<double> times;
+  std::vector<Vec2> points;
+
+  /// Position at absolute time t (clamped interpolation).
+  Vec2 at(double t) const;
+};
+
+/// A parsed multi-node trace.
+struct TraceSet {
+  std::map<std::size_t, NodeTrace> nodes;
+
+  /// Parses trace text; throws PreconditionError on malformed input.
+  static TraceSet parse(const std::string& text);
+  /// Loads a trace file.
+  static TraceSet load(const std::string& path);
+
+  std::size_t node_count() const { return nodes.size(); }
+};
+
+/// Mobility model replaying one node's trace.
+class TraceReplayModel final : public MobilityModel {
+ public:
+  /// `trace` is copied; replay starts at time 0.
+  explicit TraceReplayModel(NodeTrace trace);
+
+  void advance(double dt) override;
+  Vec2 position() const override { return pos_; }
+  const char* name() const override { return "trace-replay"; }
+
+ private:
+  NodeTrace trace_;
+  double now_ = 0.0;
+  Vec2 pos_;
+};
+
+}  // namespace dtn

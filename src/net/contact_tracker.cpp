@@ -1,0 +1,29 @@
+#include "src/net/contact_tracker.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+ContactTracker::ContactTracker(double range) : range_(range), grid_(range) {
+  DTN_REQUIRE(range > 0.0, "ContactTracker: range must be positive");
+}
+
+ContactChurn ContactTracker::update(const std::vector<Vec2>& positions) {
+  grid_.rebuild(positions);
+  std::set<NodePair> next;
+  grid_.for_each_pair_within(range_, [&next](std::size_t i, std::size_t j) {
+    next.emplace(i, j);
+  });
+
+  ContactChurn churn;
+  std::set_difference(next.begin(), next.end(), current_.begin(),
+                      current_.end(), std::back_inserter(churn.went_up));
+  std::set_difference(current_.begin(), current_.end(), next.begin(),
+                      next.end(), std::back_inserter(churn.went_down));
+  current_ = std::move(next);
+  return churn;
+}
+
+}  // namespace dtn

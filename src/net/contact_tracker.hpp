@@ -1,0 +1,54 @@
+// Contact tracking: turns per-step node positions into link up/down events.
+//
+// Two nodes are "in contact" while their distance is within the radio
+// range. The tracker diffs the in-range pair set between steps and reports
+// the churn; the simulation kernel reacts by establishing/tearing links.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/geo/spatial_grid.hpp"
+#include "src/geo/vec2.hpp"
+
+namespace dtn {
+
+/// Unordered node pair, stored normalized (first < second).
+using NodePair = std::pair<std::size_t, std::size_t>;
+
+inline NodePair make_pair_sorted(std::size_t a, std::size_t b) {
+  return a < b ? NodePair{a, b} : NodePair{b, a};
+}
+
+struct ContactChurn {
+  std::vector<NodePair> went_up;    ///< pairs that entered range this step
+  std::vector<NodePair> went_down;  ///< pairs that left range this step
+};
+
+class ContactTracker {
+ public:
+  /// `range`: radio range in meters (also used as the grid cell size).
+  explicit ContactTracker(double range);
+
+  /// Processes one movement step; returns the link churn. Pair lists are
+  /// sorted, so downstream processing is deterministic.
+  ContactChurn update(const std::vector<Vec2>& positions);
+
+  /// Pairs currently in contact (sorted).
+  const std::set<NodePair>& current() const { return current_; }
+
+  bool in_contact(std::size_t a, std::size_t b) const {
+    return current_.count(make_pair_sorted(a, b)) > 0;
+  }
+
+  double range() const { return range_; }
+
+ private:
+  double range_;
+  SpatialGrid grid_;
+  std::set<NodePair> current_;
+};
+
+}  // namespace dtn

@@ -1,0 +1,115 @@
+// Concrete report observers, modeled on the ONE simulator's report suite:
+//   * DeliveredMessagesReport  — one row per first delivery
+//   * ContactReport            — per-pair contact durations + intermeeting
+//   * BufferOccupancyReport    — mean/max occupancy time series
+//   * EventLog                 — flat chronological event records (tests,
+//                                debugging, trace comparisons)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/observer.hpp"
+#include "src/core/world.hpp"
+#include "src/util/histogram.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+
+namespace dtn {
+
+/// One row per successful first delivery (ONE: DeliveredMessagesReport).
+class DeliveredMessagesReport final : public WorldObserver {
+ public:
+  struct Row {
+    MessageId id = 0;
+    NodeId source = kNoNode;
+    NodeId destination = kNoNode;
+    NodeId last_hop = kNoNode;
+    SimTime created = 0.0;
+    SimTime delivered_at = 0.0;
+    int hops = 0;
+  };
+
+  void on_delivery(const Message& copy, NodeId from, NodeId to,
+                   SimTime now) override;
+
+  const std::vector<Row>& rows() const { return rows_; }
+  /// id | src | dst | hops | latency | created | delivered
+  Table to_table() const;
+  /// Latency quantile over all deliveries (q in [0,1]).
+  double latency_quantile(double q) const;
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Contact durations and intermeeting gaps per node pair
+/// (ONE: ConnectivityONEReport / ContactTimesReport).
+class ContactReport final : public WorldObserver {
+ public:
+  void on_link_up(const NodePair& p, SimTime now) override;
+  void on_link_down(const NodePair& p, SimTime now) override;
+
+  const std::vector<double>& contact_durations() const { return durations_; }
+  const std::vector<double>& intermeeting_times() const { return gaps_; }
+  std::size_t total_contacts() const { return contacts_; }
+
+  /// Summary table: counts, means, and the exponential fit of the gaps.
+  Table to_table() const;
+
+ private:
+  std::map<NodePair, double> up_since_;
+  std::map<NodePair, double> last_end_;
+  std::vector<double> durations_;
+  std::vector<double> gaps_;
+  std::size_t contacts_ = 0;
+};
+
+/// Mean/max buffer occupancy sampled every `interval` seconds.
+class BufferOccupancyReport final : public WorldObserver {
+ public:
+  explicit BufferOccupancyReport(double interval = 60.0);
+
+  void on_step_end(const World& world) override;
+
+  struct Sample {
+    SimTime t = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+  Table to_table() const;
+
+ private:
+  double interval_;
+  double next_ = 0.0;
+  std::vector<Sample> samples_;
+};
+
+/// Flat chronological event log; each record is a compact text line.
+/// Used by tests to assert exact event sequences and by users to diff
+/// runs. Kinds: CREATE, SEND, RECV, DELIVER, ABORT, DROP, EXPIRE, UP, DOWN.
+class EventLog final : public WorldObserver {
+ public:
+  void on_message_created(const Message& m, SimTime now) override;
+  void on_delivery(const Message& copy, NodeId from, NodeId to,
+                   SimTime now) override;
+  void on_transfer_started(const Transfer& t) override;
+  void on_transfer_completed(const Transfer& t, bool delivered) override;
+  void on_transfer_aborted(const Transfer& t) override;
+  void on_drop(NodeId node, const Message& m, SimTime now) override;
+  void on_ttl_expired(NodeId node, const Message& m, SimTime now) override;
+  void on_link_up(const NodePair& p, SimTime now) override;
+  void on_link_down(const NodePair& p, SimTime now) override;
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  /// Number of lines whose kind field matches `kind` exactly.
+  std::size_t count_kind(const std::string& kind) const;
+
+ private:
+  void log(SimTime t, const std::string& kind, const std::string& detail);
+  std::vector<std::string> lines_;
+};
+
+}  // namespace dtn

@@ -1,0 +1,70 @@
+#include "src/report/reports.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+Table message_stats_table(const std::string& label, const SimStats& s) {
+  Table t({"metric", "value"});
+  t.add_row({std::string("label"), label});
+  t.add_row({std::string("created"), static_cast<std::int64_t>(s.created)});
+  t.add_row({std::string("delivered"),
+             static_cast<std::int64_t>(s.delivered)});
+  t.add_row({std::string("delivery_ratio"), s.delivery_ratio()});
+  t.add_row({std::string("avg_hopcount"), s.avg_hopcount()});
+  t.add_row({std::string("overhead_ratio"), s.overhead_ratio()});
+  t.add_row({std::string("avg_latency_s"), s.avg_latency()});
+  t.add_row({std::string("transfers_started"),
+             static_cast<std::int64_t>(s.transfers_started)});
+  t.add_row({std::string("transfers_completed"),
+             static_cast<std::int64_t>(s.transfers_completed)});
+  t.add_row({std::string("transfers_aborted"),
+             static_cast<std::int64_t>(s.transfers_aborted)});
+  t.add_row({std::string("drops"), static_cast<std::int64_t>(s.drops)});
+  t.add_row({std::string("ttl_expired"),
+             static_cast<std::int64_t>(s.ttl_expired)});
+  t.add_row({std::string("admission_rejected"),
+             static_cast<std::int64_t>(s.admission_rejected)});
+  t.add_row({std::string("avg_buffer_occupancy"),
+             s.buffer_occupancy.mean()});
+  return t;
+}
+
+Table comparison_table(const std::vector<std::string>& labels,
+                       const std::vector<SimStats>& stats) {
+  DTN_REQUIRE(labels.size() == stats.size(),
+              "comparison_table: label/stats size mismatch");
+  Table t({"policy", "delivery_ratio", "avg_hopcount", "overhead_ratio",
+           "avg_latency_s", "drops", "delivered", "created"});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const SimStats& s = stats[i];
+    t.add_row({labels[i], s.delivery_ratio(), s.avg_hopcount(),
+               s.overhead_ratio(), s.avg_latency(),
+               static_cast<std::int64_t>(s.drops),
+               static_cast<std::int64_t>(s.delivered),
+               static_cast<std::int64_t>(s.created)});
+  }
+  return t;
+}
+
+IntermeetingReport intermeeting_report(const std::vector<double>& samples,
+                                       std::size_t bins) {
+  DTN_REQUIRE(!samples.empty(), "intermeeting_report: no samples");
+  const double maxv = *std::max_element(samples.begin(), samples.end());
+  IntermeetingReport rep{Histogram(0.0, std::max(maxv, 1.0), bins),
+                         fit_exponential(samples),
+                         Table({"t_s", "empirical_pdf", "exponential_fit"})};
+  rep.histogram.add_all(samples);
+  for (std::size_t b = 0; b < rep.histogram.bins(); ++b) {
+    const double t = rep.histogram.bin_center(b);
+    const double fitted = rep.fit.lambda * std::exp(-rep.fit.lambda * t);
+    rep.table.add_row({t, rep.histogram.density(b), fitted});
+  }
+  rep.table.set_precision(6);
+  return rep;
+}
+
+}  // namespace dtn

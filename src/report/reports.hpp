@@ -1,0 +1,32 @@
+// Report builders: turn raw simulator output into the tables the benches
+// and examples print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/sim_stats.hpp"
+#include "src/util/histogram.hpp"
+#include "src/util/table.hpp"
+
+namespace dtn {
+
+/// One-row summary of a run's counters and metrics (ONE's
+/// MessageStatsReport equivalent).
+Table message_stats_table(const std::string& label, const SimStats& s);
+
+/// Multi-run comparison: one row per (label, stats) pair.
+Table comparison_table(const std::vector<std::string>& labels,
+                       const std::vector<SimStats>& stats);
+
+/// Fig. 3-style report: histogram of intermeeting samples with the fitted
+/// exponential density per bin, plus the fit parameters in the header.
+struct IntermeetingReport {
+  Histogram histogram;
+  ExponentialFit fit;
+  Table table;  ///< bin center | empirical density | fitted density
+};
+IntermeetingReport intermeeting_report(const std::vector<double>& samples,
+                                       std::size_t bins = 30);
+
+}  // namespace dtn

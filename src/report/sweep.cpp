@@ -1,0 +1,85 @@
+#include "src/report/sweep.hpp"
+
+#include "src/report/observers.hpp"
+
+namespace dtn {
+
+MetricPoint run_scenario(const Scenario& sc) {
+  return run_scenario(sc, nullptr);
+}
+
+MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out) {
+  auto world = build_world(sc);
+  DeliveredMessagesReport delivered;
+  world->add_observer(&delivered);
+  world->run();
+  const SimStats& s = world->stats();
+  if (stats_out != nullptr) *stats_out = s;
+  MetricPoint p;
+  p.delivery_ratio = s.delivery_ratio();
+  p.avg_hopcount = s.avg_hopcount();
+  p.overhead_ratio = s.overhead_ratio();
+  p.avg_latency = s.avg_latency();
+  if (!delivered.rows().empty()) {
+    p.median_latency = delivered.latency_quantile(0.5);
+    p.p95_latency = delivered.latency_quantile(0.95);
+  }
+  return p;
+}
+
+ReplicatedMetrics run_replicated(const Scenario& base, std::size_t replicas,
+                                 ThreadPool* pool) {
+  std::vector<MetricPoint> points(replicas);
+  auto run_one = [&base, &points](std::size_t r) {
+    Scenario sc = base;
+    sc.seed = base.seed + r;
+    points[r] = run_scenario(sc);
+  };
+  if (pool != nullptr && replicas > 1) {
+    parallel_for_index(*pool, replicas, run_one);
+  } else {
+    for (std::size_t r = 0; r < replicas; ++r) run_one(r);
+  }
+  ReplicatedMetrics agg;
+  for (const MetricPoint& p : points) {
+    agg.delivery_ratio.add(p.delivery_ratio);
+    agg.avg_hopcount.add(p.avg_hopcount);
+    agg.overhead_ratio.add(p.overhead_ratio);
+    agg.avg_latency.add(p.avg_latency);
+  }
+  return agg;
+}
+
+std::vector<ReplicatedMetrics> run_sweep(const std::vector<SweepPoint>& points,
+                                         std::size_t replicas,
+                                         ThreadPool* pool) {
+  std::vector<ReplicatedMetrics> out(points.size());
+  if (pool != nullptr) {
+    // Flatten point × replica into independent tasks.
+    std::vector<std::vector<MetricPoint>> raw(points.size());
+    for (auto& v : raw) v.resize(replicas);
+    parallel_for_index(*pool, points.size() * replicas,
+                       [&](std::size_t task) {
+                         const std::size_t pi = task / replicas;
+                         const std::size_t r = task % replicas;
+                         Scenario sc = points[pi].scenario;
+                         sc.seed = sc.seed + r;
+                         raw[pi][r] = run_scenario(sc);
+                       });
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      for (const MetricPoint& p : raw[pi]) {
+        out[pi].delivery_ratio.add(p.delivery_ratio);
+        out[pi].avg_hopcount.add(p.avg_hopcount);
+        out[pi].overhead_ratio.add(p.overhead_ratio);
+        out[pi].avg_latency.add(p.avg_latency);
+      }
+    }
+    return out;
+  }
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    out[pi] = run_replicated(points[pi].scenario, replicas, nullptr);
+  }
+  return out;
+}
+
+}  // namespace dtn

@@ -1,0 +1,65 @@
+// Sweep runner: executes scenarios (optionally replicated over seeds and
+// fanned out over a thread pool) and aggregates the paper's three metrics.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/config/scenario.hpp"
+#include "src/core/sim_stats.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace dtn {
+
+/// The paper's three headline metrics plus delay, from one finished run.
+struct MetricPoint {
+  double delivery_ratio = 0.0;
+  double avg_hopcount = 0.0;
+  double overhead_ratio = 0.0;
+  double avg_latency = 0.0;
+  double median_latency = 0.0;  ///< p50 creation->delivery delay (s)
+  double p95_latency = 0.0;     ///< p95 creation->delivery delay (s)
+};
+
+/// Builds, runs and summarizes one scenario.
+MetricPoint run_scenario(const Scenario& sc);
+
+/// Same, also returning the full counter set.
+MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out);
+
+/// Aggregate over replicas (seeds base.seed, base.seed+1, ...).
+struct ReplicatedMetrics {
+  RunningStats delivery_ratio;
+  RunningStats avg_hopcount;
+  RunningStats overhead_ratio;
+  RunningStats avg_latency;
+
+  MetricPoint mean() const {
+    return {delivery_ratio.mean(), avg_hopcount.mean(),
+            overhead_ratio.mean(), avg_latency.mean()};
+  }
+};
+
+/// Runs `replicas` independent replications of `base` (only the seed
+/// differs). When `pool` is non-null the replicas run concurrently;
+/// results are identical either way.
+ReplicatedMetrics run_replicated(const Scenario& base, std::size_t replicas,
+                                 ThreadPool* pool = nullptr);
+
+/// One sweep point: a label (the x value) and its base scenario.
+struct SweepPoint {
+  double x = 0.0;
+  Scenario scenario;
+};
+
+/// Runs every point (each replicated `replicas` times) and returns the
+/// aggregated metrics in point order. Points × replicas fan out over the
+/// pool when provided.
+std::vector<ReplicatedMetrics> run_sweep(const std::vector<SweepPoint>& points,
+                                         std::size_t replicas,
+                                         ThreadPool* pool = nullptr);
+
+}  // namespace dtn

@@ -1,0 +1,50 @@
+#include "src/report/trace_recorder.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+TraceRecorder::TraceRecorder(double interval) : interval_(interval) {
+  DTN_REQUIRE(interval > 0.0, "trace recorder: bad interval");
+  next_ = 0.0;  // record the first post-step state immediately
+}
+
+void TraceRecorder::on_step_end(const World& world) {
+  if (world.now() + 1e-9 < next_) return;
+  next_ = world.now() + interval_;
+  for (NodeId id = 0; id < world.node_count(); ++id) {
+    NodeTrace& nt = trace_.nodes[id];
+    nt.times.push_back(world.now());
+    nt.points.push_back(world.node(id).mobility().position());
+  }
+}
+
+std::string TraceRecorder::to_text() const {
+  std::ostringstream os;
+  os << "# movement trace: time node_id x y (sampled every " << interval_
+     << " s)\n";
+  // Emit in time-major order so the file is chronologically readable.
+  // All nodes share the same sample times by construction.
+  if (trace_.nodes.empty()) return os.str();
+  const std::size_t samples = trace_.nodes.begin()->second.times.size();
+  for (std::size_t k = 0; k < samples; ++k) {
+    for (const auto& [id, nt] : trace_.nodes) {
+      if (k >= nt.times.size()) continue;
+      os << nt.times[k] << ' ' << id << ' ' << nt.points[k].x << ' '
+         << nt.points[k].y << '\n';
+    }
+  }
+  return os.str();
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_text();
+  return static_cast<bool>(f);
+}
+
+}  // namespace dtn

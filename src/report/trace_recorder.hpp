@@ -1,0 +1,38 @@
+// TraceRecorder: samples every node's position at a fixed interval and
+// exports the movement in the text trace format TraceReplayModel reads
+// ("t id x y" lines). Lets users capture a synthetic mobility run once
+// and replay it bit-exactly — e.g. freeze one TaxiFleetModel realization
+// as the standing EPFL-substitute dataset.
+#pragma once
+
+#include <string>
+
+#include "src/core/observer.hpp"
+#include "src/core/world.hpp"
+#include "src/mobility/trace_replay.hpp"
+
+namespace dtn {
+
+class TraceRecorder final : public WorldObserver {
+ public:
+  /// Samples every `interval` seconds of simulated time.
+  explicit TraceRecorder(double interval = 10.0);
+
+  void on_step_end(const World& world) override;
+
+  /// The recorded trace so far.
+  const TraceSet& trace() const { return trace_; }
+
+  /// Serializes to the "t id x y" text format (with a header comment).
+  std::string to_text() const;
+
+  /// Writes to_text() to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  double interval_;
+  double next_ = 0.0;
+  TraceSet trace_;
+};
+
+}  // namespace dtn

@@ -1,0 +1,94 @@
+#include "src/routing/prophet.hpp"
+
+#include <cmath>
+
+#include "src/core/node.hpp"
+#include "src/routing/routing_common.hpp"
+
+namespace dtn {
+
+void ProphetTable::age(const ProphetConfig& cfg, SimTime now) {
+  if (now <= last_age_) return;
+  const double steps = (now - last_age_) / cfg.aging_unit;
+  const double factor = std::pow(cfg.gamma, steps);
+  for (auto& [dest, p] : p_) p *= factor;
+  last_age_ = now;
+}
+
+void ProphetTable::on_encounter(
+    const ProphetConfig& cfg, NodeId peer,
+    const std::unordered_map<NodeId, double>& peer_snapshot, SimTime now) {
+  age(cfg, now);
+  double& p_peer = p_[peer];
+  p_peer += (1.0 - p_peer) * cfg.p_init;
+  for (const auto& [dest, p_bc] : peer_snapshot) {
+    if (dest == peer) continue;
+    double& p_ac = p_[dest];
+    p_ac += (1.0 - p_ac) * p_peer * p_bc * cfg.beta;
+  }
+}
+
+double ProphetTable::predictability(NodeId dest) const {
+  const auto it = p_.find(dest);
+  return it != p_.end() ? it->second : 0.0;
+}
+
+void ProphetRouter::on_link_up(const Node& a, const Node& b,
+                               SimTime now) const {
+  ProphetTable& ta = tables_[a.id()];
+  ProphetTable& tb = tables_[b.id()];
+  ta.age(cfg_, now);
+  tb.age(cfg_, now);
+  // Snapshot both sides before mutating so the update is symmetric.
+  const auto snap_a = ta.entries();
+  const auto snap_b = tb.entries();
+  ta.on_encounter(cfg_, b.id(), snap_b, now);
+  tb.on_encounter(cfg_, a.id(), snap_a, now);
+}
+
+double ProphetRouter::predictability(NodeId owner, NodeId dest,
+                                     SimTime now) const {
+  ProphetTable& t = tables_[owner];
+  t.age(cfg_, now);
+  return t.predictability(dest);
+}
+
+std::optional<MessageId> ProphetRouter::next_to_send(
+    const Node& self, const Node& peer, const PolicyContext& ctx) const {
+  const auto deliverable = routing::deliverable_messages(self, peer, ctx);
+  if (!deliverable.empty()) return deliverable.front()->id;
+
+  std::vector<const Message*> candidates;
+  for (const Message& m : self.buffer().messages()) {
+    if (m.expired(ctx.now)) continue;
+    if (m.destination == peer.id()) continue;
+    if (!routing::peer_can_receive(peer, m)) continue;
+    // Replicate only toward higher delivery predictability.
+    if (predictability(peer.id(), m.destination, ctx.now) <=
+        predictability(self.id(), m.destination, ctx.now)) {
+      continue;
+    }
+    candidates.push_back(&m);
+  }
+  self.policy().order_for_sending(candidates, ctx);
+  return routing::first_admittable(
+      candidates, peer, ctx,
+      [this, &ctx](const Message& m) { return make_relay_copy(m, ctx.now); });
+}
+
+bool ProphetRouter::on_sent(Message& copy, bool /*delivered*/,
+                            SimTime /*now*/) const {
+  ++copy.forwards;
+  return true;  // PRoPHET replicates; the sender keeps its copy
+}
+
+Message ProphetRouter::make_relay_copy(const Message& sender_copy,
+                                       SimTime now) const {
+  Message relay = sender_copy;
+  relay.hops = sender_copy.hops + 1;
+  relay.forwards = 0;
+  relay.received = now;
+  return relay;
+}
+
+}  // namespace dtn

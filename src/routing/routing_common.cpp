@@ -1,0 +1,29 @@
+#include "src/routing/routing_common.hpp"
+
+namespace dtn::routing {
+
+std::vector<const Message*> deliverable_messages(const Node& self,
+                                                 const Node& peer,
+                                                 const PolicyContext& ctx) {
+  std::vector<const Message*> out;
+  for (const Message& m : self.buffer().messages()) {
+    if (m.destination == peer.id() && !peer.has_delivered(m.id) &&
+        !m.expired(ctx.now)) {
+      out.push_back(&m);
+    }
+  }
+  self.policy().order_for_sending(out, ctx);
+  return out;
+}
+
+bool peer_can_receive(const Node& peer, const Message& m) {
+  if (peer.buffer().has(m.id)) return false;
+  if (peer.has_delivered(m.id)) return false;
+  if (peer.knows_delivered(m.id)) return false;  // ACK-gossip immunity
+  if (peer.policy().rejects_previously_dropped() && peer.has_dropped(m.id)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,44 @@
+// Candidate-selection helpers shared by the router implementations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/core/buffer_policy.hpp"
+#include "src/core/message.hpp"
+#include "src/core/node.hpp"
+#include "src/core/router.hpp"
+
+namespace dtn::routing {
+
+/// Non-expired messages in `self`'s buffer destined for `peer` that the
+/// peer has not already received, ordered by `self`'s policy (deliveries
+/// always go out before replications, as in ONE).
+std::vector<const Message*> deliverable_messages(const Node& self,
+                                                 const Node& peer,
+                                                 const PolicyContext& ctx);
+
+/// True if `peer` is a viable relay target for `m`: it does not hold or
+/// has not delivered the message, and (when its policy maintains a
+/// dropped list) has not previously dropped it.
+bool peer_can_receive(const Node& peer, const Message& m);
+
+/// Walks `candidates` in order and returns the first whose relay copy the
+/// peer would admit. `make_copy` mints the hypothetical receiver copy;
+/// `sender_view` rates the newcomer by the sender-side copy instead
+/// (Router::rate_newcomer_as_sender_copy).
+template <typename MakeCopy>
+std::optional<MessageId> first_admittable(
+    const std::vector<const Message*>& candidates, const Node& peer,
+    const PolicyContext& ctx, MakeCopy&& make_copy,
+    bool sender_view = false) {
+  const PolicyContext peer_ctx = ctx.viewed_from(peer);
+  for (const Message* m : candidates) {
+    if (peer.would_admit(make_copy(*m), peer_ctx, sender_view ? m : nullptr)) {
+      return m->id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dtn::routing

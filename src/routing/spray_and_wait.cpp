@@ -1,0 +1,65 @@
+#include "src/routing/spray_and_wait.hpp"
+
+#include "src/core/node.hpp"
+#include "src/routing/routing_common.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+bool SprayAndWaitRouter::can_spray(const Message& m, const Node& self) const {
+  if (m.copies < 2) return false;  // wait phase
+  if (!cfg_.binary && m.source != self.id()) return false;  // source spray
+  return true;
+}
+
+std::optional<MessageId> SprayAndWaitRouter::next_to_send(
+    const Node& self, const Node& peer, const PolicyContext& ctx) const {
+  // Deliveries always trump replication.
+  const auto deliverable = routing::deliverable_messages(self, peer, ctx);
+  if (!deliverable.empty()) return deliverable.front()->id;
+
+  std::vector<const Message*> spray;
+  for (const Message& m : self.buffer().messages()) {
+    if (m.expired(ctx.now)) continue;
+    if (!can_spray(m, self)) continue;
+    if (!routing::peer_can_receive(peer, m)) continue;
+    spray.push_back(&m);
+  }
+  self.policy().order_for_sending(spray, ctx);
+  if (!cfg_.precheck_admission) {
+    return spray.empty() ? std::nullopt
+                         : std::make_optional(spray.front()->id);
+  }
+  return routing::first_admittable(
+      spray, peer, ctx,
+      [this, &ctx](const Message& m) { return make_relay_copy(m, ctx.now); },
+      cfg_.presplit_admission_view);
+}
+
+bool SprayAndWaitRouter::on_sent(Message& copy, bool delivered,
+                                 SimTime now) const {
+  if (delivered) return true;  // no acknowledgment scheme: keep the copy
+  DTN_REQUIRE(copy.copies >= 2, "spray from wait phase");
+  if (cfg_.binary) {
+    copy.copies -= copy.copies / 2;  // keep the ceiling half
+    copy.spray_times.push_back(now);
+  } else {
+    copy.copies -= 1;
+  }
+  ++copy.forwards;
+  return true;
+}
+
+Message SprayAndWaitRouter::make_relay_copy(const Message& sender_copy,
+                                            SimTime now) const {
+  DTN_REQUIRE(sender_copy.copies >= 2, "relay copy from wait phase");
+  Message relay = sender_copy;
+  relay.copies = cfg_.binary ? sender_copy.copies / 2 : 1;  // floor half
+  relay.hops = sender_copy.hops + 1;
+  relay.forwards = 0;
+  relay.received = now;
+  if (cfg_.binary) relay.spray_times.push_back(now);
+  return relay;
+}
+
+}  // namespace dtn

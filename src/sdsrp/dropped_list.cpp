@@ -1,0 +1,52 @@
+#include "src/sdsrp/dropped_list.hpp"
+
+namespace dtn::sdsrp {
+
+void DroppedList::index_add(const DropRecord& rec) {
+  for (std::uint64_t msg : rec.dropped) ++counts_[msg];
+}
+
+void DroppedList::index_remove(const DropRecord& rec) {
+  for (std::uint64_t msg : rec.dropped) {
+    auto it = counts_.find(msg);
+    if (it != counts_.end() && --it->second <= 0) counts_.erase(it);
+  }
+}
+
+void DroppedList::record_local_drop(std::uint64_t msg, double now) {
+  DropRecord& own = records_[owner_];
+  if (own.dropped.insert(msg).second) ++counts_[msg];
+  own.record_time = now;
+}
+
+bool DroppedList::has_own_drop(std::uint64_t msg) const {
+  const auto it = records_.find(owner_);
+  return it != records_.end() && it->second.dropped.count(msg) > 0;
+}
+
+void DroppedList::merge_from(const DroppedList& other) {
+  for (const auto& [node, rec] : other.records_) {
+    if (node == owner_) continue;  // only the owner writes the own record
+    auto it = records_.find(node);
+    if (it == records_.end()) {
+      records_.emplace(node, rec);
+      index_add(rec);
+    } else if (rec.record_time > it->second.record_time) {
+      index_remove(it->second);
+      it->second = rec;
+      index_add(rec);
+    }
+  }
+}
+
+double DroppedList::count_drops(std::uint64_t msg) const {
+  const auto it = counts_.find(msg);
+  return it != counts_.end() ? static_cast<double>(it->second) : 0.0;
+}
+
+void DroppedList::forget_message(std::uint64_t msg) {
+  for (auto& [node, rec] : records_) rec.dropped.erase(msg);
+  counts_.erase(msg);
+}
+
+}  // namespace dtn::sdsrp

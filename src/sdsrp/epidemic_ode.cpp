@@ -1,0 +1,53 @@
+#include "src/sdsrp/epidemic_ode.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace dtn::sdsrp {
+
+double epidemic_infected(double n_nodes, double lambda, double i0,
+                         double t) {
+  DTN_REQUIRE(n_nodes >= 2.0, "epidemic_infected: need N >= 2");
+  DTN_REQUIRE(lambda > 0.0, "epidemic_infected: lambda must be positive");
+  DTN_REQUIRE(i0 >= 1.0 && i0 <= n_nodes, "epidemic_infected: bad I0");
+  DTN_REQUIRE(t >= 0.0, "epidemic_infected: negative time");
+  // Clamp the exponent to avoid overflow at large t; the solution has
+  // already saturated at N there.
+  const double x = std::min(lambda * n_nodes * t, 700.0);
+  const double e = std::exp(x);
+  return n_nodes * i0 * e / (n_nodes - i0 + i0 * e);
+}
+
+double epidemic_delivery_cdf(double n_nodes, double lambda, double i0,
+                             double t, std::size_t steps) {
+  DTN_REQUIRE(steps >= 2, "epidemic_delivery_cdf: need >= 2 steps");
+  if (t <= 0.0) return 0.0;
+  // Trapezoid integration of I(s) over [0, t].
+  const double h = t / static_cast<double>(steps);
+  double integral = 0.5 * (epidemic_infected(n_nodes, lambda, i0, 0.0) +
+                           epidemic_infected(n_nodes, lambda, i0, t));
+  for (std::size_t k = 1; k < steps; ++k) {
+    integral +=
+        epidemic_infected(n_nodes, lambda, i0, h * static_cast<double>(k));
+  }
+  integral *= h;
+  return 1.0 - std::exp(-lambda * integral);
+}
+
+std::vector<double> epidemic_trajectory(double n_nodes, double lambda,
+                                        double i0, double horizon,
+                                        std::size_t points) {
+  DTN_REQUIRE(points >= 2, "epidemic_trajectory: need >= 2 points");
+  DTN_REQUIRE(horizon > 0.0, "epidemic_trajectory: bad horizon");
+  std::vector<double> out;
+  out.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double t = horizon * static_cast<double>(k) /
+                     static_cast<double>(points - 1);
+    out.push_back(epidemic_infected(n_nodes, lambda, i0, t));
+  }
+  return out;
+}
+
+}  // namespace dtn::sdsrp

@@ -1,0 +1,40 @@
+// Epidemic-spreading ODE model (Zhang, Neglia & Kurose — the paper's
+// ref [13]): with pairwise exponential intermeeting rate λ and
+// unconstrained buffers, the number of infected nodes I(t) for a single
+// message follows the logistic SI dynamics
+//
+//   dI/dt = λ I (N − I),   I(0) = I₀
+//
+// with the closed form
+//
+//   I(t) = N I₀ e^{λNt} / (N − I₀ + I₀ e^{λNt}).
+//
+// A uniformly random destination is infected at hazard rate λ·I(t), so
+// the delivery CDF is P(t) = 1 − exp(−λ ∫₀ᵗ I(s) ds), provided here by
+// numerical integration.
+//
+// Used by bench/abl_ode_validation to check that the simulator's contact
+// process reproduces the theory the paper's analysis builds on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dtn::sdsrp {
+
+/// Closed-form logistic solution I(t) of dI/dt = λ I (N − I).
+double epidemic_infected(double n_nodes, double lambda, double i0, double t);
+
+/// Numerical delivery CDF for a uniformly random destination: the
+/// destination is infected at hazard rate λ·I(t), so
+///   P(t) = 1 − exp(−λ ∫₀ᵗ I(s) ds),
+/// integrated with the trapezoid rule at `steps` points.
+double epidemic_delivery_cdf(double n_nodes, double lambda, double i0,
+                             double t, std::size_t steps = 2000);
+
+/// Samples I(t) on a uniform grid [0, horizon] (inclusive endpoints).
+std::vector<double> epidemic_trajectory(double n_nodes, double lambda,
+                                        double i0, double horizon,
+                                        std::size_t points);
+
+}  // namespace dtn::sdsrp

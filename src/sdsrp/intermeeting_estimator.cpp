@@ -1,0 +1,77 @@
+#include "src/sdsrp/intermeeting_estimator.hpp"
+
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace dtn::sdsrp {
+
+IntermeetingEstimator::IntermeetingEstimator(double prior_mean,
+                                             std::size_t min_samples,
+                                             ImtEstimatorMode mode)
+    : prior_mean_(prior_mean), min_samples_(min_samples), mode_(mode) {
+  DTN_REQUIRE(prior_mean > 0.0, "intermeeting: prior mean must be positive");
+}
+
+void IntermeetingEstimator::on_contact_start(std::size_t peer, double now) {
+  const auto it = last_end_.find(peer);
+  if (it != last_end_.end()) {
+    if (now > it->second) stats_.add(now - it->second);
+    closed_exposure_ += std::max(0.0, now - it->second);
+    // The open interval for this peer closes.
+    --open_count_;
+    open_since_sum_ -= it->second;
+    last_end_.erase(it);
+  }
+  last_seen_[peer] = now;
+}
+
+void IntermeetingEstimator::on_contact_end(std::size_t peer, double now) {
+  const auto it = last_end_.find(peer);
+  if (it != last_end_.end()) {
+    // Consecutive end without an intervening recorded start (should not
+    // happen with a well-behaved kernel): restart the open interval.
+    open_since_sum_ += now - it->second;
+    it->second = now;
+  } else {
+    last_end_.emplace(peer, now);
+    ++open_count_;
+    open_since_sum_ += now;
+  }
+  last_seen_[peer] = now;
+}
+
+double IntermeetingEstimator::mean_intermeeting(double now) const {
+  if (stats_.count() < min_samples_) return prior_mean_;
+  if (mode_ == ImtEstimatorMode::kNaiveMean) {
+    const double m = stats_.mean();
+    return m > 0.0 ? m : prior_mean_;
+  }
+  // Censored MLE: exposure / events. Open intervals contribute the time
+  // each not-yet-re-met peer has been waiting since its last contact end.
+  const double open_exposure =
+      static_cast<double>(open_count_) * now - open_since_sum_;
+  const double exposure = closed_exposure_ + std::max(0.0, open_exposure);
+  const double events = static_cast<double>(stats_.count());
+  const double mean = exposure / events;
+  return mean > 0.0 ? mean : prior_mean_;
+}
+
+double IntermeetingEstimator::lambda_min(double now,
+                                         std::size_t n_nodes) const {
+  DTN_REQUIRE(n_nodes >= 2, "lambda_min: need at least two nodes");
+  return static_cast<double>(n_nodes - 1) * lambda(now);
+}
+
+double IntermeetingEstimator::mean_min_intermeeting(
+    double now, std::size_t n_nodes) const {
+  return 1.0 / lambda_min(now, n_nodes);
+}
+
+double IntermeetingEstimator::last_contact(std::size_t peer) const {
+  const auto it = last_seen_.find(peer);
+  return it != last_seen_.end() ? it->second
+                                : -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace dtn::sdsrp

@@ -1,0 +1,81 @@
+#include "src/sdsrp/priority_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace dtn::sdsrp {
+
+namespace {
+// log2 C_i, with C_i clamped to >= 1 (a node always holds >= 1 copy of a
+// message it stores; the wait phase has C_i = 1, log2 = 0).
+double log2_copies(double copies) {
+  return std::log2(std::max(copies, 1.0));
+}
+
+// Exponent λ n A clamped so exp() never overflows/underflows to inf/0*inf.
+double safe_exp(double x) { return std::exp(std::clamp(x, -700.0, 700.0)); }
+}  // namespace
+
+double spray_term(const PriorityInputs& in) {
+  DTN_REQUIRE(in.n_nodes >= 2, "spray_term: need at least two nodes");
+  DTN_REQUIRE(in.lambda > 0.0, "spray_term: lambda must be positive");
+  const double lc = log2_copies(in.copies);
+  return (lc + 1.0) * in.remaining_ttl -
+         lc * (lc + 1.0) /
+             (2.0 * static_cast<double>(in.n_nodes - 1) * in.lambda);
+}
+
+double prob_already_delivered(const PriorityInputs& in) {
+  DTN_REQUIRE(in.n_nodes >= 2, "prob_already_delivered: need >= 2 nodes");
+  const double p = in.m_seen / static_cast<double>(in.n_nodes - 1);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double prob_deliver_in_remaining(const PriorityInputs& in) {
+  const double a = spray_term(in);
+  const double p = 1.0 - safe_exp(-in.lambda * in.n_holding * a);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double delivery_probability(const PriorityInputs& in) {
+  const double pt = prob_already_delivered(in);
+  const double pr = prob_deliver_in_remaining(in);
+  return pt + (1.0 - pt) * pr;  // Eq. 4
+}
+
+double priority_eq10(const PriorityInputs& in) {
+  const double pt = prob_already_delivered(in);
+  const double a = spray_term(in);
+  const double u =
+      (1.0 - pt) * in.lambda * a * safe_exp(-in.lambda * in.n_holding * a);
+  // Keep pathological inputs (hugely negative A) totally ordered and
+  // finite rather than overflowing to -inf.
+  return std::clamp(u, -1e300, 1e300);
+}
+
+double priority_eq11(double p_t, double p_r, double n_holding) {
+  DTN_REQUIRE(n_holding > 0.0, "priority_eq11: n must be positive");
+  DTN_REQUIRE(p_r >= 0.0 && p_r < 1.0, "priority_eq11: P(R) must be in [0,1)");
+  // (1 - PT)(PR - 1) ln(1 - PR) / n. At PR -> 0 the limit is 0.
+  if (p_r == 0.0) return 0.0;
+  return (1.0 - p_t) * (p_r - 1.0) * std::log(1.0 - p_r) / n_holding;
+}
+
+double priority_taylor(double p_t, double p_r, double n_holding,
+                       std::size_t terms) {
+  DTN_REQUIRE(n_holding > 0.0, "priority_taylor: n must be positive");
+  DTN_REQUIRE(p_r >= 0.0 && p_r < 1.0, "priority_taylor: P(R) must be in [0,1)");
+  double sum = 0.0;
+  double power = 1.0;
+  for (std::size_t k = 1; k <= terms; ++k) {
+    power *= p_r;  // p_r^k
+    sum += power / static_cast<double>(k);
+  }
+  return (1.0 - p_t) * (1.0 - p_r) * sum / n_holding;
+}
+
+double peak_prob_remaining() { return 1.0 - 1.0 / 2.718281828459045235360287; }
+
+}  // namespace dtn::sdsrp

@@ -1,0 +1,64 @@
+// SDSRP priority model — the paper's analytical core (Section III-B).
+//
+// The priority of a message is the marginal effect of one extra copy on the
+// global delivery ratio, U_i = ∂P/∂n_i (Eq. 10), derived from:
+//   P(T_i) = m_i/(N-1)                                  (Eq. 5)
+//   P(R_i) = 1 - exp(-λ n_i A_i)                        (Eq. 6)
+//   A_i    = (log2 C_i + 1) R_i
+//            - log2 C_i (log2 C_i + 1) / (2 (N-1) λ)
+//   U_i    = (1 - P(T_i)) λ A_i exp(-λ n_i A_i)         (Eq. 10)
+// equivalently, in probability space (Eq. 11):
+//   U_i = (1 - P(T_i)) (P(R_i) - 1) ln(1 - P(R_i)) / n_i
+// with the Taylor form (Eq. 13) truncating ln(1-x) = -Σ x^k/k.
+//
+// All functions are pure; estimation of m_i/n_i/λ lives in the sibling
+// headers, and the buffer policy glues them together.
+#pragma once
+
+#include <cstddef>
+
+namespace dtn::sdsrp {
+
+/// Inputs to the priority computation for one message at one node.
+struct PriorityInputs {
+  std::size_t n_nodes = 0;  ///< N, total nodes in the network
+  double lambda = 0.0;      ///< pairwise intermeeting rate λ = 1/E(I)
+  double copies = 1.0;      ///< C_i, copies held by the current node
+  double remaining_ttl = 0.0;  ///< R_i, seconds
+  double m_seen = 0.0;      ///< m_i(T_i), nodes that have seen i (excl. src)
+  double n_holding = 1.0;   ///< n_i(T_i), nodes currently holding a copy
+};
+
+/// A_i: the bracketed spray-time term shared by Eqs. 6-10. May be negative
+/// when the remaining TTL is too short to spray the held copies; a negative
+/// A_i yields a negative utility, i.e. drop-first — the desired behavior.
+double spray_term(const PriorityInputs& in);
+
+/// P(T_i): probability the message has already been delivered (Eq. 5).
+/// Clamped into [0, 1].
+double prob_already_delivered(const PriorityInputs& in);
+
+/// P(R_i): probability an undelivered message reaches the destination
+/// within the remaining TTL (Eq. 6). Clamped into [0, 1].
+double prob_deliver_in_remaining(const PriorityInputs& in);
+
+/// P_i: total delivery probability of the message (Eq. 4/7).
+double delivery_probability(const PriorityInputs& in);
+
+/// U_i by the closed form, Eq. 10. This is the priority SDSRP sorts by.
+double priority_eq10(const PriorityInputs& in);
+
+/// U_i expressed with probabilities, Eq. 11: equals priority_eq10 up to
+/// floating-point error; exposed for tests and for the Fig. 4 curve.
+double priority_eq11(double p_t, double p_r, double n_holding);
+
+/// Eq. 13: Taylor-series approximation of Eq. 11 with `terms` terms of
+/// ln(1-x) = -Σ_{k>=1} x^k / k. Converges to Eq. 11 as terms -> ∞.
+double priority_taylor(double p_t, double p_r, double n_holding,
+                       std::size_t terms);
+
+/// The P(R_i) value that maximizes U_i for fixed P(T_i) and n_i:
+/// 1 - 1/e (the "peak point" of the paper's Fig. 4).
+double peak_prob_remaining();
+
+}  // namespace dtn::sdsrp

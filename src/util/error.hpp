@@ -1,0 +1,35 @@
+// Lightweight precondition/invariant checking for the DTN simulator.
+//
+// DTN_REQUIRE is used for checks that must hold in release builds too
+// (configuration validation, API misuse). Violations throw std::logic_error
+// with file:line context so callers and tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtn {
+
+/// Thrown when a DTN_REQUIRE precondition fails.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dtn
+
+#define DTN_REQUIRE(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr)) ::dtn::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,113 @@
+#include "src/util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DTN_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  DTN_REQUIRE(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::vector<double> Histogram::ccdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  // Count of samples >= left edge of each bin (overflow included).
+  std::size_t above = overflow_;
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    above += counts_[i];
+    out[i] = static_cast<double>(above) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+ExponentialFit fit_exponential(const std::vector<double>& samples,
+                               std::size_t ccdf_points) {
+  ExponentialFit fit;
+  fit.samples = samples.size();
+  if (samples.empty()) return fit;
+
+  double sum = 0.0;
+  double maxv = 0.0;
+  for (double s : samples) {
+    DTN_REQUIRE(s >= 0.0, "fit_exponential: negative sample");
+    sum += s;
+    maxv = std::max(maxv, s);
+  }
+  fit.mean = sum / static_cast<double>(samples.size());
+  if (fit.mean <= 0.0) return fit;
+  fit.lambda = 1.0 / fit.mean;
+
+  // R^2 of log CCDF vs t: build the empirical CCDF from sorted samples at
+  // `ccdf_points` evenly spaced abscissae, regress log(ccdf) on t.
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> xs, ys;
+  xs.reserve(ccdf_points);
+  ys.reserve(ccdf_points);
+  for (std::size_t i = 0; i < ccdf_points; ++i) {
+    const double t = maxv * static_cast<double>(i) /
+                     static_cast<double>(ccdf_points);
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), t);
+    const auto above = static_cast<std::size_t>(sorted.end() - it);
+    if (above == 0) break;
+    const double ccdf =
+        static_cast<double>(above) / static_cast<double>(sorted.size());
+    xs.push_back(t);
+    ys.push_back(std::log(ccdf));
+  }
+  if (xs.size() < 3) {
+    fit.r_squared = 1.0;  // too few points to falsify linearity
+    return fit;
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  fit.r_squared = (vx > 0 && vy > 0) ? (cov * cov) / (vx * vy) : 1.0;
+  return fit;
+}
+
+}  // namespace dtn

@@ -1,0 +1,68 @@
+#include "src/util/rng.hpp"
+
+namespace dtn {
+
+void Xoshiro256StarStar::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        for (int i = 0; i < 4; ++i) s[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+      }
+      (*this)();
+    }
+  }
+  state_ = s;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DTN_REQUIRE(lo <= hi, "uniform_int: empty range");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(gen_());
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t draw;
+  do {
+    draw = gen_();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; uses two uniforms per call, discards the second variate so
+  // the stream position is call-count deterministic.
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  DTN_REQUIRE(!weights.empty(), "weighted_index: no weights");
+  double total = 0.0;
+  for (double w : weights) {
+    DTN_REQUIRE(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  DTN_REQUIRE(total > 0.0, "weighted_index: all weights zero");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+  // Mix the tag through SplitMix so fork(0), fork(1) are decorrelated.
+  SplitMix64 sm(next_u64() ^ (tag * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+  return Rng(sm.next());
+}
+
+}  // namespace dtn

@@ -1,0 +1,137 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// We deliberately avoid std::uniform_real_distribution and friends: their
+// output is implementation-defined, which would make experiment results
+// differ across standard libraries. All sampling here is done with explicit
+// inverse-CDF / rejection forms over a portable xoshiro256** core, so a
+// given seed produces identical traces everywhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+/// SplitMix64: tiny generator used to expand a single 64-bit seed into the
+/// 256-bit xoshiro state (recommended by the xoshiro authors).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x6A09E667F3BCC908ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump function: advances the stream by 2^128 draws. Used to derive
+  /// statistically independent sub-streams from one seed.
+  void jump();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Rng: the sampling front-end every simulator component owns.
+///
+/// All distributions are seed-stable: same seed, same draw sequence, on any
+/// conforming compiler.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    // 53 random mantissa bits -> uniform in [0,1).
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    DTN_REQUIRE(lo <= hi, "uniform: empty range");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with rate lambda (mean 1/lambda), via inverse CDF.
+  double exponential(double lambda) {
+    DTN_REQUIRE(lambda > 0.0, "exponential: rate must be positive");
+    // 1 - u in (0,1] so log() never sees zero.
+    return -std::log(1.0 - uniform01()) / lambda;
+  }
+
+  /// Pareto (Lomax-shifted classic form): xm * (1-u)^(-1/alpha), x >= xm.
+  double pareto(double xm, double alpha) {
+    DTN_REQUIRE(xm > 0.0 && alpha > 0.0, "pareto: bad parameters");
+    return xm * std::pow(1.0 - uniform01(), -1.0 / alpha);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream; `tag` separates consumers.
+  Rng fork(std::uint64_t tag);
+
+  /// Raw 64-bit draw (exposed for hashing-style consumers).
+  std::uint64_t next_u64() { return gen_(); }
+
+ private:
+  Xoshiro256StarStar gen_;
+};
+
+}  // namespace dtn

@@ -1,0 +1,142 @@
+#include "src/util/settings.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream is(s);
+  while (std::getline(is, piece, delim)) out.push_back(trim(piece));
+  if (!s.empty() && s.back() == delim) out.push_back("");
+  return out;
+}
+
+Settings Settings::parse(const std::string& text) {
+  Settings s;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    DTN_REQUIRE(eq != std::string::npos,
+                "settings line " + std::to_string(lineno) + ": missing '='");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    DTN_REQUIRE(!key.empty(),
+                "settings line " + std::to_string(lineno) + ": empty key");
+    s.values_[key] = value;
+  }
+  return s;
+}
+
+Settings Settings::load(const std::string& path) {
+  std::ifstream f(path);
+  DTN_REQUIRE(static_cast<bool>(f), "cannot open settings file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+void Settings::set(const std::string& key, const std::string& value) {
+  values_[trim(key)] = trim(value);
+}
+
+bool Settings::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Settings::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  DTN_REQUIRE(it != values_.end(), "missing settings key: " + key);
+  return it->second;
+}
+
+double Settings::get_double(const std::string& key) const {
+  const std::string v = get_string(key);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  const bool ok = end != v.c_str() && trim(std::string(end)).empty();
+  DTN_REQUIRE(ok, "settings key '" + key + "' is not a number: " + v);
+  return d;
+}
+
+std::int64_t Settings::get_int(const std::string& key) const {
+  const std::string v = get_string(key);
+  char* end = nullptr;
+  const long long i = std::strtoll(v.c_str(), &end, 10);
+  const bool ok = end != v.c_str() && trim(std::string(end)).empty();
+  DTN_REQUIRE(ok, "settings key '" + key + "' is not an integer: " + v);
+  return static_cast<std::int64_t>(i);
+}
+
+bool Settings::get_bool(const std::string& key) const {
+  std::string v = get_string(key);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  DTN_REQUIRE(false, "settings key '" + key + "' is not a boolean: " + v);
+  return false;
+}
+
+std::string Settings::get_string_or(const std::string& key,
+                                    std::string dflt) const {
+  return has(key) ? get_string(key) : std::move(dflt);
+}
+double Settings::get_double_or(const std::string& key, double dflt) const {
+  return has(key) ? get_double(key) : dflt;
+}
+std::int64_t Settings::get_int_or(const std::string& key,
+                                  std::int64_t dflt) const {
+  return has(key) ? get_int(key) : dflt;
+}
+bool Settings::get_bool_or(const std::string& key, bool dflt) const {
+  return has(key) ? get_bool(key) : dflt;
+}
+
+std::vector<double> Settings::get_double_list(const std::string& key) const {
+  std::vector<double> out;
+  for (const auto& piece : split(get_string(key), ',')) {
+    if (piece.empty()) continue;
+    char* end = nullptr;
+    const double d = std::strtod(piece.c_str(), &end);
+    DTN_REQUIRE(end != piece.c_str(),
+                "settings key '" + key + "': bad list element '" + piece + "'");
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<std::string> Settings::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Settings::to_text() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : values_) os << k << " = " << v << '\n';
+  return os.str();
+}
+
+}  // namespace dtn

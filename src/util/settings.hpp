@@ -1,0 +1,61 @@
+// ONE-style "key = value" settings text, used to describe scenarios.
+//
+// Grammar (a friendly subset of the ONE simulator's settings files):
+//   # comment until end of line
+//   key = value          (value is trimmed; keys may be dotted: Group.size)
+// Later assignments override earlier ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtn {
+
+class Settings {
+ public:
+  Settings() = default;
+
+  /// Parses settings text. Throws PreconditionError on malformed lines.
+  static Settings parse(const std::string& text);
+
+  /// Loads and parses a file. Throws on I/O failure or parse error.
+  static Settings load(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+
+  /// Accessors throw PreconditionError if the key is missing or malformed.
+  std::string get_string(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  /// Defaulted accessors.
+  std::string get_string_or(const std::string& key, std::string dflt) const;
+  double get_double_or(const std::string& key, double dflt) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t dflt) const;
+  bool get_bool_or(const std::string& key, bool dflt) const;
+
+  /// Comma-separated list of doubles, e.g. "2,2.5,3".
+  std::vector<double> get_double_list(const std::string& key) const;
+
+  /// All keys, sorted (for round-tripping / debugging).
+  std::vector<std::string> keys() const;
+
+  /// Serializes back to "key = value" lines (sorted by key).
+  std::string to_text() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Splits on a delimiter, trimming each piece; empty pieces are kept.
+std::vector<std::string> split(const std::string& s, char delim);
+
+}  // namespace dtn

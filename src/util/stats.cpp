@@ -1,0 +1,63 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::ci95_half_width() const {
+  if (n_ < 2) return 0.0;
+  return 1.959964 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+StatSummary summarize(const RunningStats& s) {
+  StatSummary out;
+  out.count = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.min = s.min();
+  out.max = s.max();
+  out.ci95 = s.ci95_half_width();
+  return out;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  DTN_REQUIRE(!samples.empty(), "quantile: empty sample set");
+  DTN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace dtn

@@ -1,0 +1,56 @@
+// Streaming statistics used by every metric collector in the simulator.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dtn {
+
+/// RunningStats: Welford's online mean/variance with min/max tracking.
+/// Numerically stable; O(1) per sample, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  double ci95_half_width() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Summary of a finished sample set (for report rows).
+struct StatSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;
+};
+
+StatSummary summarize(const RunningStats& s);
+
+/// Quantile of a sample vector (sorts a copy; q in [0,1], linear interp).
+double quantile(std::vector<double> samples, double q);
+
+}  // namespace dtn

@@ -1,0 +1,109 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  DTN_REQUIRE(!columns_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  DTN_REQUIRE(row.size() == columns_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::set_precision(int digits) {
+  DTN_REQUIRE(digits >= 0 && digits <= 17, "Table: bad precision");
+  precision_ = digits;
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<std::int64_t>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  auto line = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  line();
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+       << columns_[c] << " |";
+  }
+  os << '\n';
+  line();
+  for (const auto& r : cells) {
+    os << '|';
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << std::right << std::setw(static_cast<int>(widths[c])) << r[c]
+         << " |";
+    }
+    os << '\n';
+  }
+  line();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace dtn

@@ -1,0 +1,51 @@
+// Result-table formatting shared by benches, examples and reports.
+//
+// A Table collects named columns and prints either an aligned console view
+// (what the bench binaries emit so the paper's figure series are readable)
+// or CSV (for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dtn {
+
+/// One cell: string or number (numbers are formatted with fixed precision).
+using Cell = std::variant<std::string, double, std::int64_t>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Cell>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Number of fraction digits used when formatting doubles (default 4).
+  void set_precision(int digits);
+
+  /// Writes an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting of embedded commas needed here,
+  /// but quotes are added when a string cell contains ',' or '"').
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write_csv to a file path. Returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace dtn

@@ -1,0 +1,26 @@
+// Unit helpers so scenario code reads like the paper's parameter tables
+// ("2.5 MB buffer", "250 kbps link", "300 min TTL").
+#pragma once
+
+#include <cstdint>
+
+namespace dtn::units {
+
+/// Bytes in a kibi/mebibyte. The ONE simulator (and the paper's tables)
+/// use power-of-ten "k"/"M" for sizes; we follow that convention.
+constexpr std::int64_t kilobytes(double kb) {
+  return static_cast<std::int64_t>(kb * 1000.0);
+}
+constexpr std::int64_t megabytes(double mb) {
+  return static_cast<std::int64_t>(mb * 1000.0 * 1000.0);
+}
+
+/// Link speed given in kilobits per second -> bytes per second.
+constexpr double kbps(double v) { return v * 1000.0 / 8.0; }
+
+/// Simulation time helpers (simulation time is in seconds).
+constexpr double seconds(double s) { return s; }
+constexpr double minutes(double m) { return m * 60.0; }
+constexpr double hours(double h) { return h * 3600.0; }
+
+}  // namespace dtn::units

@@ -1,0 +1,124 @@
+// Tests for the optional ACK-gossip immunization extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/buffer/fifo.hpp"
+#include "src/config/scenario.hpp"
+#include "src/mobility/stationary.hpp"
+#include "src/report/sweep.hpp"
+#include "src/routing/spray_and_wait.hpp"
+
+namespace dtn {
+namespace {
+
+Message msg(MessageId id, NodeId src, NodeId dst, int copies = 8) {
+  Message m;
+  m.id = id;
+  m.source = src;
+  m.destination = dst;
+  m.size = 100;
+  m.created = 0.0;
+  m.ttl = 5000.0;
+  m.copies = copies;
+  m.initial_copies = copies;
+  return m;
+}
+
+std::unique_ptr<World> chain_world(bool ack) {
+  // 0 - 1 - 2 in a line; only adjacent pairs in range.
+  WorldConfig cfg;
+  cfg.step = 1.0;
+  cfg.duration = 1000.0;
+  cfg.range = 10.0;
+  cfg.bandwidth = 100.0;
+  cfg.ack_gossip = ack;
+  auto w = std::make_unique<World>(cfg);
+  w->set_router(std::make_unique<SprayAndWaitRouter>());
+  w->set_policy(std::make_unique<FifoPolicy>());
+  w->add_node(std::make_unique<StationaryModel>(Vec2{0, 0}), 10000);
+  w->add_node(std::make_unique<StationaryModel>(Vec2{8, 0}), 10000);
+  w->add_node(std::make_unique<StationaryModel>(Vec2{16, 0}), 10000);
+  return w;
+}
+
+TEST(AckGossip, SenderPurgesCopyAfterDelivering) {
+  auto w = chain_world(true);
+  // Node 1 holds a single-copy message for node 2: direct delivery.
+  ASSERT_TRUE(w->inject_message(msg(1, 1, 2, 1)));
+  w->run_until(10.0);
+  EXPECT_EQ(w->stats().delivered, 1u);
+  // With ACK the deliverer frees its buffer slot.
+  EXPECT_FALSE(w->node(1).buffer().has(1));
+  EXPECT_GE(w->stats().ack_purged, 1u);
+}
+
+TEST(AckGossip, WithoutAckSenderKeepsCopy) {
+  auto w = chain_world(false);
+  ASSERT_TRUE(w->inject_message(msg(1, 1, 2, 1)));
+  w->run_until(10.0);
+  EXPECT_EQ(w->stats().delivered, 1u);
+  // Paper semantics: no acknowledgment, the copy stays.
+  EXPECT_TRUE(w->node(1).buffer().has(1));
+  EXPECT_EQ(w->stats().ack_purged, 0u);
+}
+
+TEST(AckGossip, KnowledgePropagatesAndPurgesRemoteCopies) {
+  auto w = chain_world(true);
+  // Node 0 sprays toward node 2 via node 1; after delivery, node 0's
+  // remaining copy must eventually be purged through gossip with node 1.
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 2, 8)));
+  w->run_until(50.0);
+  ASSERT_EQ(w->stats().delivered, 1u);
+  EXPECT_TRUE(w->node(1).knows_delivered(1));
+  // Links persist (stationary chain), so gossip happened at link-up only;
+  // but the deliverer purges immediately and node 0's copy is purged on
+  // the next link-up event — force one by breaking and re-forming.
+  // With permanent links, node 0 only learns via the initial link-up
+  // which predates delivery; its copy may legitimately remain. Verify
+  // the mechanism with a fresh encounter instead:
+  auto* m0 = dynamic_cast<StationaryModel*>(&w->node(0).mobility());
+  ASSERT_NE(m0, nullptr);
+  m0->move_to({100, 100});  // break 0-1
+  w->run_until(55.0);
+  m0->move_to({8, 8});      // re-meet node 1
+  w->run_until(60.0);
+  EXPECT_TRUE(w->node(0).knows_delivered(1));
+  EXPECT_FALSE(w->node(0).buffer().has(1));
+}
+
+TEST(AckGossip, ImmunizedNodeRefusesCopies) {
+  auto w = chain_world(true);
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 2, 8)));
+  w->run_until(50.0);
+  ASSERT_EQ(w->stats().delivered, 1u);
+  // Re-injecting relays of a delivered message must be refused: craft a
+  // holder by checking peer_can_receive indirectly — node 1 knows it is
+  // delivered and must never re-accept it. Run on and assert no copy of
+  // message 1 reappears at node 1 once purged.
+  w->run_until(200.0);
+  EXPECT_FALSE(w->node(1).buffer().has(1));
+}
+
+TEST(AckGossip, EndToEndImprovesDeliveryUnderCongestion) {
+  Scenario base = Scenario::random_waypoint_paper();
+  base.n_nodes = 30;
+  base.world.duration = 6000.0;
+  base.rwp.area = Rect::sized(1500.0, 1200.0);
+  base.traffic.interval_min = 15.0;
+  base.traffic.interval_max = 20.0;
+  base.traffic.ttl = 4000.0;
+  base.policy = "fifo";
+
+  Scenario with_ack = base;
+  with_ack.world.ack_gossip = true;
+  const auto plain = run_replicated(base, 2);
+  const auto acked = run_replicated(with_ack, 2);
+  // Freeing delivered copies must not hurt, and should help under
+  // congestion.
+  EXPECT_GE(acked.delivery_ratio.mean(),
+            plain.delivery_ratio.mean() - 0.01);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,76 @@
+// Unit tests for contact detection / link churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/net/contact_tracker.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(ContactTracker, DetectsPairWithinRange) {
+  ContactTracker t(10.0);
+  const auto churn = t.update({{0, 0}, {5, 0}, {100, 100}});
+  ASSERT_EQ(churn.went_up.size(), 1u);
+  EXPECT_EQ(churn.went_up[0], (NodePair{0, 1}));
+  EXPECT_TRUE(churn.went_down.empty());
+  EXPECT_TRUE(t.in_contact(0, 1));
+  EXPECT_TRUE(t.in_contact(1, 0));  // symmetric
+  EXPECT_FALSE(t.in_contact(0, 2));
+}
+
+TEST(ContactTracker, NoChurnWhileStable) {
+  ContactTracker t(10.0);
+  t.update({{0, 0}, {5, 0}});
+  const auto churn = t.update({{0, 0}, {6, 0}});  // still in range
+  EXPECT_TRUE(churn.went_up.empty());
+  EXPECT_TRUE(churn.went_down.empty());
+}
+
+TEST(ContactTracker, DetectsLinkDown) {
+  ContactTracker t(10.0);
+  t.update({{0, 0}, {5, 0}});
+  const auto churn = t.update({{0, 0}, {50, 0}});
+  EXPECT_TRUE(churn.went_up.empty());
+  ASSERT_EQ(churn.went_down.size(), 1u);
+  EXPECT_EQ(churn.went_down[0], (NodePair{0, 1}));
+  EXPECT_FALSE(t.in_contact(0, 1));
+}
+
+TEST(ContactTracker, RangeBoundaryInclusive) {
+  ContactTracker t(10.0);
+  const auto churn = t.update({{0, 0}, {10, 0}});
+  EXPECT_EQ(churn.went_up.size(), 1u);  // distance == range counts
+}
+
+TEST(ContactTracker, MultiplePairsSortedDeterministically) {
+  ContactTracker t(10.0);
+  const auto churn = t.update({{0, 0}, {5, 0}, {5, 5}, {100, 0}, {104, 0}});
+  // pairs: (0,1), (0,2), (1,2), (3,4)
+  ASSERT_EQ(churn.went_up.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(churn.went_up.begin(), churn.went_up.end()));
+  EXPECT_EQ(t.current().size(), 4u);
+}
+
+TEST(ContactTracker, FlappingLinkProducesChurnEachTime) {
+  ContactTracker t(10.0);
+  for (int i = 0; i < 3; ++i) {
+    auto up = t.update({{0, 0}, {5, 0}});
+    EXPECT_EQ(up.went_up.size(), 1u);
+    auto down = t.update({{0, 0}, {50, 0}});
+    EXPECT_EQ(down.went_down.size(), 1u);
+  }
+}
+
+TEST(ContactTracker, MakePairSortedNormalizes) {
+  EXPECT_EQ(make_pair_sorted(7, 3), (NodePair{3, 7}));
+  EXPECT_EQ(make_pair_sorted(3, 7), (NodePair{3, 7}));
+}
+
+TEST(ContactTracker, RejectsBadRange) {
+  EXPECT_THROW(ContactTracker(0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,104 @@
+// Tests for the Fig. 5 dropped-list gossip structure.
+#include <gtest/gtest.h>
+
+#include "src/sdsrp/dropped_list.hpp"
+
+namespace dtn::sdsrp {
+namespace {
+
+TEST(DroppedList, StartsEmpty) {
+  DroppedList d(3);
+  EXPECT_EQ(d.owner(), 3u);
+  EXPECT_DOUBLE_EQ(d.count_drops(1), 0.0);
+  EXPECT_FALSE(d.has_own_drop(1));
+  EXPECT_EQ(d.known_records(), 0u);
+}
+
+TEST(DroppedList, RecordsOwnDrops) {
+  DroppedList d(3);
+  d.record_local_drop(10, 5.0);
+  d.record_local_drop(11, 6.0);
+  EXPECT_TRUE(d.has_own_drop(10));
+  EXPECT_TRUE(d.has_own_drop(11));
+  EXPECT_FALSE(d.has_own_drop(12));
+  EXPECT_DOUBLE_EQ(d.count_drops(10), 1.0);
+  EXPECT_EQ(d.known_records(), 1u);
+}
+
+TEST(DroppedList, MergeAdoptsOtherRecords) {
+  DroppedList a(0), b(1);
+  b.record_local_drop(10, 5.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.count_drops(10), 1.0);
+  EXPECT_FALSE(a.has_own_drop(10));  // not a's own drop
+}
+
+TEST(DroppedList, MergeKeepsNewestRecordPerOwner) {
+  DroppedList a(0), b(1), c(2);
+  // b drops 10 at t=5; c learns it; then b drops 11 at t=9.
+  b.record_local_drop(10, 5.0);
+  c.merge_from(b);
+  b.record_local_drop(11, 9.0);
+  // a first hears the stale record via c, then the fresh one from b.
+  a.merge_from(c);
+  EXPECT_DOUBLE_EQ(a.count_drops(11), 0.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.count_drops(11), 1.0);
+  EXPECT_DOUBLE_EQ(a.count_drops(10), 1.0);
+}
+
+TEST(DroppedList, StaleRecordDoesNotOverwriteFresh) {
+  DroppedList a(0), b(1), c(2);
+  b.record_local_drop(10, 5.0);
+  c.merge_from(b);          // c holds b@5
+  b.record_local_drop(11, 9.0);
+  a.merge_from(b);          // a holds b@9
+  a.merge_from(c);          // stale b@5 must not clobber b@9
+  EXPECT_DOUBLE_EQ(a.count_drops(11), 1.0);
+}
+
+TEST(DroppedList, GossipNeverTouchesOwnRecord) {
+  DroppedList a(0), b(1);
+  a.record_local_drop(10, 5.0);
+  // b fabricates a record claiming to be node 0 (or simply carries an old
+  // copy of a's record); a must ignore it.
+  b.record_local_drop(99, 50.0);
+  DroppedList carrier(2);
+  carrier.merge_from(a);  // carrier holds a@5
+  a.record_local_drop(12, 7.0);
+  a.merge_from(carrier);  // must not roll a's own record back
+  EXPECT_TRUE(a.has_own_drop(12));
+}
+
+TEST(DroppedList, CountDropsAcrossManyNodes) {
+  DroppedList observer(0);
+  for (std::size_t node = 1; node <= 5; ++node) {
+    DroppedList other(node);
+    other.record_local_drop(42, static_cast<double>(node));
+    observer.merge_from(other);
+  }
+  EXPECT_DOUBLE_EQ(observer.count_drops(42), 5.0);
+  EXPECT_EQ(observer.known_records(), 5u);
+}
+
+TEST(DroppedList, ForgetMessageRemovesEverywhere) {
+  DroppedList a(0), b(1);
+  a.record_local_drop(7, 1.0);
+  b.record_local_drop(7, 2.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.count_drops(7), 2.0);
+  a.forget_message(7);
+  EXPECT_DOUBLE_EQ(a.count_drops(7), 0.0);
+}
+
+TEST(DroppedList, TransitiveGossipPropagates) {
+  // a -> b -> c without a ever meeting c.
+  DroppedList a(0), b(1), c(2);
+  a.record_local_drop(10, 1.0);
+  b.merge_from(a);
+  c.merge_from(b);
+  EXPECT_DOUBLE_EQ(c.count_drops(10), 1.0);
+}
+
+}  // namespace
+}  // namespace dtn::sdsrp

@@ -1,0 +1,80 @@
+// Tests for the epidemic-spreading ODE model (paper ref [13]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sdsrp/epidemic_ode.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn::sdsrp {
+namespace {
+
+constexpr double kN = 100.0;
+constexpr double kLambda = 1.0 / 30000.0;
+
+TEST(EpidemicOde, InitialCondition) {
+  EXPECT_DOUBLE_EQ(epidemic_infected(kN, kLambda, 1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(epidemic_infected(kN, kLambda, 7.0, 0.0), 7.0);
+}
+
+TEST(EpidemicOde, MonotoneAndSaturating) {
+  double prev = 0.0;
+  for (double t = 0.0; t <= 1e6; t += 1e4) {
+    const double i = epidemic_infected(kN, kLambda, 1.0, t);
+    EXPECT_GE(i, prev - 1e-12);
+    EXPECT_LE(i, kN + 1e-9);
+    prev = i;
+  }
+  EXPECT_NEAR(epidemic_infected(kN, kLambda, 1.0, 1e7), kN, 1e-6);
+}
+
+TEST(EpidemicOde, SatisfiesTheOde) {
+  // dI/dt computed by central difference must equal λ I (N − I).
+  for (double t : {1000.0, 10000.0, 30000.0, 60000.0}) {
+    const double h = 1.0;
+    const double di =
+        (epidemic_infected(kN, kLambda, 1.0, t + h) -
+         epidemic_infected(kN, kLambda, 1.0, t - h)) /
+        (2.0 * h);
+    const double i = epidemic_infected(kN, kLambda, 1.0, t);
+    EXPECT_NEAR(di, kLambda * i * (kN - i), 1e-6 * kN) << "t=" << t;
+  }
+}
+
+TEST(EpidemicOde, EarlyGrowthIsExponential) {
+  // For I << N, I(t) ≈ I0 e^{λNt}: at λNt = 1, I ≈ e ≈ 2.7 << 100.
+  const double t = 300.0;
+  const double i = epidemic_infected(kN, kLambda, 1.0, t);
+  EXPECT_NEAR(i, std::exp(kLambda * kN * t), 0.05 * i);
+}
+
+TEST(EpidemicOde, DeliveryCdfProperties) {
+  EXPECT_DOUBLE_EQ(epidemic_delivery_cdf(kN, kLambda, 1.0, 0.0), 0.0);
+  double prev = 0.0;
+  for (double t = 5000.0; t <= 100000.0; t += 5000.0) {
+    const double p = epidemic_delivery_cdf(kN, kLambda, 1.0, t);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.95);  // eventually delivered almost surely
+}
+
+TEST(EpidemicOde, TrajectoryGrid) {
+  const auto traj = epidemic_trajectory(kN, kLambda, 1.0, 60000.0, 7);
+  ASSERT_EQ(traj.size(), 7u);
+  EXPECT_DOUBLE_EQ(traj.front(), 1.0);
+  EXPECT_TRUE(std::is_sorted(traj.begin(), traj.end()));
+}
+
+TEST(EpidemicOde, PreconditionsEnforced) {
+  EXPECT_THROW(epidemic_infected(1.0, kLambda, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(epidemic_infected(kN, 0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(epidemic_infected(kN, kLambda, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(epidemic_infected(kN, kLambda, 1.0, -1.0), PreconditionError);
+  EXPECT_THROW(epidemic_trajectory(kN, kLambda, 1.0, 0.0, 5),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dtn::sdsrp

@@ -1,0 +1,153 @@
+// Unit tests for geometry: Vec2, Rect, SpatialGrid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/geo/rect.hpp"
+#include "src/geo/spatial_grid.hpp"
+#include "src/geo/vec2.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, 5};
+  EXPECT_EQ(a + b, (Vec2{4, 7}));
+  EXPECT_EQ(b - a, (Vec2{2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 13.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec2{0, 0}).normalized(), (Vec2{0, 0}));
+  const Vec2 u = (Vec2{10, 0}).normalized();
+  EXPECT_DOUBLE_EQ(u.x, 1.0);
+  EXPECT_DOUBLE_EQ(u.y, 0.0);
+}
+
+TEST(Vec2, Lerp) {
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.5), (Vec2{5, 10}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.0), (Vec2{0, 0}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 1.0), (Vec2{10, 20}));
+}
+
+TEST(Rect, BasicsAndContains) {
+  const Rect r = Rect::sized(100, 50);
+  EXPECT_DOUBLE_EQ(r.width(), 100.0);
+  EXPECT_DOUBLE_EQ(r.height(), 50.0);
+  EXPECT_DOUBLE_EQ(r.area(), 5000.0);
+  EXPECT_EQ(r.center(), (Vec2{50, 25}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({100, 50}));
+  EXPECT_FALSE(r.contains({100.1, 0}));
+  EXPECT_FALSE(r.contains({0, -0.1}));
+}
+
+TEST(Rect, InvertedCornersThrow) {
+  EXPECT_THROW(Rect({1, 1}, {0, 0}), PreconditionError);
+}
+
+TEST(Rect, ClampPullsInside) {
+  const Rect r = Rect::sized(10, 10);
+  EXPECT_EQ(r.clamp({-5, 5}), (Vec2{0, 5}));
+  EXPECT_EQ(r.clamp({15, 20}), (Vec2{10, 10}));
+  EXPECT_EQ(r.clamp({3, 4}), (Vec2{3, 4}));
+}
+
+TEST(Rect, ReflectFoldsBack) {
+  const Rect r = Rect::sized(10, 10);
+  EXPECT_EQ(r.reflect({-2, 5}), (Vec2{2, 5}));
+  EXPECT_EQ(r.reflect({12, 5}), (Vec2{8, 5}));
+  EXPECT_EQ(r.reflect({5, -3}), (Vec2{5, 3}));
+  const Vec2 in = r.reflect({23, -17});  // large overstep still lands inside
+  EXPECT_TRUE(r.contains(in));
+}
+
+TEST(Rect, SampleUniformInside) {
+  const Rect r({10, 20}, {30, 60});
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(r.contains(r.sample(rng)));
+  }
+}
+
+TEST(SpatialGrid, RejectsBadCell) {
+  EXPECT_THROW(SpatialGrid(0.0), PreconditionError);
+}
+
+TEST(SpatialGrid, PairsMatchBruteForce) {
+  Rng rng(10);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 200; ++i) pos.push_back({rng.uniform(0, 1000), rng.uniform(0, 700)});
+  const double radius = 50.0;
+  SpatialGrid grid(radius);
+  grid.rebuild(pos);
+
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j) {
+    from_grid.emplace(i, j);
+  });
+
+  std::set<std::pair<std::size_t, std::size_t>> brute;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (distance(pos[i], pos[j]) <= radius) brute.emplace(i, j);
+    }
+  }
+  EXPECT_EQ(from_grid, brute);
+}
+
+TEST(SpatialGrid, PairOrderIsDeterministicAndSorted) {
+  Rng rng(11);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 100; ++i) pos.push_back({rng.uniform(0, 300), rng.uniform(0, 300)});
+  SpatialGrid grid(60.0);
+  grid.rebuild(pos);
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  grid.for_each_pair_within(60.0, [&](std::size_t i, std::size_t j) {
+    EXPECT_LT(i, j);
+    order.emplace_back(i, j);
+  });
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(SpatialGrid, RadiusLargerThanCellThrows) {
+  SpatialGrid grid(10.0);
+  grid.rebuild({{0, 0}});
+  EXPECT_THROW(grid.for_each_pair_within(20.0, [](std::size_t, std::size_t) {}),
+               PreconditionError);
+}
+
+TEST(SpatialGrid, QueryFindsNeighborsAcrossCells) {
+  SpatialGrid grid(10.0);
+  grid.rebuild({{0, 0}, {9, 0}, {25, 0}, {5, 5}});
+  const auto near = grid.query({1, 0}, 12.0);
+  EXPECT_EQ(near, (std::vector<std::size_t>{0, 1, 3}));
+  const auto excl = grid.query({1, 0}, 12.0, /*exclude=*/0);
+  EXPECT_EQ(excl, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(SpatialGrid, NegativeCoordinatesWork) {
+  SpatialGrid grid(50.0);
+  grid.rebuild({{-100, -100}, {-60, -100}, {100, 100}});
+  int pairs = 0;
+  grid.for_each_pair_within(50.0, [&](std::size_t i, std::size_t j) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(j, 1u);
+    ++pairs;
+  });
+  EXPECT_EQ(pairs, 1);
+}
+
+}  // namespace
+}  // namespace dtn

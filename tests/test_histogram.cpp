@@ -1,0 +1,104 @@
+// Unit tests for the histogram and exponential fitting used by the Fig. 3
+// intermeeting-time analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/histogram.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Histogram, CountsFallIntoRightBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // right edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, DensityIntegratesToCoverage) {
+  Histogram h(0.0, 10.0, 10);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform(0, 10));
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, CcdfMonotoneNonIncreasing) {
+  Histogram h(0.0, 10.0, 10);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) h.add(rng.exponential(0.5));
+  const auto ccdf = h.ccdf();
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LE(ccdf[i], ccdf[i - 1] + 1e-12);
+  }
+  EXPECT_NEAR(ccdf[0], 1.0, 1e-12);  // everything >= 0
+}
+
+TEST(FitExponential, RecoversRate) {
+  Rng rng(7);
+  std::vector<double> samples;
+  const double lambda = 0.01;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.exponential(lambda));
+  const ExponentialFit fit = fit_exponential(samples);
+  EXPECT_NEAR(fit.lambda, lambda, lambda * 0.03);
+  EXPECT_NEAR(fit.mean, 1.0 / lambda, 0.03 / lambda);
+  EXPECT_GT(fit.r_squared, 0.98);  // exponential data: log-CCDF is linear
+  EXPECT_EQ(fit.samples, 50000u);
+}
+
+TEST(FitExponential, UniformDataFitsWorseThanExponential) {
+  Rng rng(8);
+  std::vector<double> expo, unif;
+  for (int i = 0; i < 20000; ++i) {
+    expo.push_back(rng.exponential(1.0));
+    unif.push_back(rng.uniform(0.0, 2.0));
+  }
+  EXPECT_GT(fit_exponential(expo).r_squared,
+            fit_exponential(unif).r_squared);
+}
+
+TEST(FitExponential, EmptyAndDegenerate) {
+  EXPECT_EQ(fit_exponential({}).samples, 0u);
+  const auto fit = fit_exponential({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(fit.lambda, 0.0);  // zero mean -> no rate
+}
+
+TEST(FitExponential, NegativeSampleThrows) {
+  EXPECT_THROW(fit_exponential({1.0, -2.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dtn

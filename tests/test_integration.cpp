@@ -1,0 +1,250 @@
+// End-to-end integration tests: full scenarios at reduced scale, checking
+// cross-module invariants (conservation laws, registry consistency,
+// paper-expected orderings that are robust at small scale).
+#include <gtest/gtest.h>
+
+#include "src/config/scenario.hpp"
+#include "src/report/sweep.hpp"
+
+namespace dtn {
+namespace {
+
+// A scaled-down Table II world that runs in tens of milliseconds.
+Scenario small_scenario(const std::string& policy, std::uint64_t seed = 1) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 30;
+  sc.world.duration = 6000.0;
+  sc.rwp.area = Rect::sized(1500.0, 1200.0);
+  sc.traffic.interval_min = 30.0;
+  sc.traffic.interval_max = 40.0;
+  sc.traffic.ttl = 3000.0;
+  sc.traffic.initial_copies = 8;
+  sc.policy = policy;
+  sc.seed = seed;
+  return sc;
+}
+
+TEST(Integration, MessagesFlowEndToEnd) {
+  auto world = build_world(small_scenario("fifo"));
+  world->run();
+  const SimStats& s = world->stats();
+  EXPECT_GT(s.created, 100u);
+  EXPECT_GT(s.delivered, 10u);
+  EXPECT_GT(s.transfers_completed, s.delivered);
+  EXPECT_GT(s.avg_hopcount(), 1.0);
+  EXPECT_LE(s.delivery_ratio(), 1.0);
+}
+
+TEST(Integration, TtlExpiryHappensAtScale) {
+  Scenario sc = small_scenario("fifo");
+  sc.buffer_capacity = 20'000'000;  // roomy: copies live long enough
+  auto world = build_world(sc);
+  world->run();
+  // TTL (3000 s) is half the sim: undelivered copies must be purged.
+  EXPECT_GT(world->stats().ttl_expired, 0u);
+}
+
+TEST(Integration, CongestionCausesDrops) {
+  Scenario sc = small_scenario("fifo");
+  sc.buffer_capacity = 1'000'000;  // two messages per node
+  auto world = build_world(sc);
+  world->run();
+  EXPECT_GT(world->stats().drops, 0u);
+}
+
+class IntegrationEveryPolicy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IntegrationEveryPolicy, RunsAndDelivers) {
+  auto world = build_world(small_scenario(GetParam()));
+  world->run();
+  EXPECT_GT(world->stats().delivered, 0u) << GetParam();
+  // Counters must satisfy basic conservation.
+  const SimStats& s = world->stats();
+  EXPECT_GE(s.transfers_started,
+            s.transfers_completed + s.transfers_aborted - s.admission_rejected);
+  EXPECT_LE(s.delivered, s.created);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, IntegrationEveryPolicy,
+                         ::testing::Values("fifo", "drop-tail", "lifo",
+                                           "random", "ttl-ratio",
+                                           "copies-ratio", "mofo", "sdsrp",
+                                           "sdsrp-oracle", "drop-largest",
+                                           "gbsd", "gbsd-delay"));
+
+class IntegrationEveryRouter : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IntegrationEveryRouter, RunsAndDelivers) {
+  Scenario sc = small_scenario("fifo");
+  sc.router = GetParam();
+  auto world = build_world(sc);
+  world->run();
+  EXPECT_GT(world->stats().delivered, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Routers, IntegrationEveryRouter,
+                         ::testing::Values("spray-and-wait",
+                                           "spray-and-wait-source",
+                                           "epidemic", "direct-delivery",
+                                           "first-contact",
+                                           "spray-and-focus", "prophet"));
+
+TEST(Integration, RegistryMatchesBuffersExactly) {
+  auto world = build_world(small_scenario("sdsrp"));
+  world->run_until(3000.0);
+  // For every message in any buffer, the registry must list that node as
+  // a holder; and total holder count must match the number of buffered
+  // copies (one copy per node per message by construction).
+  std::unordered_map<MessageId, std::size_t> held;
+  for (NodeId id = 0; id < world->node_count(); ++id) {
+    for (const auto& m : world->node(id).buffer().messages()) {
+      ++held[m.id];
+    }
+  }
+  for (const auto& [msg, count] : held) {
+    EXPECT_DOUBLE_EQ(world->registry().n_holding(msg),
+                     static_cast<double>(count))
+        << "message " << msg;
+  }
+}
+
+TEST(Integration, SprayCopyCountsNeverExceedBudget) {
+  auto world = build_world(small_scenario("fifo"));
+  world->run_until(3000.0);
+  // Sum of copy tokens across the network never exceeds the initial
+  // budget (tokens are split, dropped, or expire — never duplicated).
+  std::unordered_map<MessageId, int> tokens;
+  int budget = 0;
+  for (NodeId id = 0; id < world->node_count(); ++id) {
+    for (const auto& m : world->node(id).buffer().messages()) {
+      tokens[m.id] += m.copies;
+      budget = m.initial_copies;
+    }
+  }
+  for (const auto& [msg, total] : tokens) {
+    EXPECT_LE(total, budget) << "message " << msg;
+    EXPECT_GE(total, 1) << "message " << msg;
+  }
+}
+
+TEST(Integration, DirectDeliveryHopcountIsOne) {
+  Scenario sc = small_scenario("fifo");
+  sc.router = "direct-delivery";
+  auto world = build_world(sc);
+  world->run();
+  ASSERT_GT(world->stats().delivered, 0u);
+  EXPECT_DOUBLE_EQ(world->stats().avg_hopcount(), 1.0);
+}
+
+TEST(Integration, EpidemicDominatesDirectDeliveryUncongested) {
+  Scenario base = small_scenario("fifo");
+  base.buffer_capacity = 50'000'000;  // effectively infinite
+  base.traffic.interval_min = 100.0;  // light load
+  base.traffic.interval_max = 120.0;
+
+  Scenario direct = base;
+  direct.router = "direct-delivery";
+  Scenario epidemic = base;
+  epidemic.router = "epidemic";
+  const auto d = run_scenario(direct);
+  const auto e = run_scenario(epidemic);
+  EXPECT_GT(e.delivery_ratio, d.delivery_ratio);
+  EXPECT_LT(d.avg_latency, 1e9);
+}
+
+TEST(Integration, MoreCopiesRaiseUncongestedDelivery) {
+  Scenario lo = small_scenario("fifo");
+  lo.buffer_capacity = 50'000'000;
+  lo.traffic.initial_copies = 1;  // degenerates to direct delivery
+  Scenario hi = lo;
+  hi.traffic.initial_copies = 8;
+  EXPECT_LT(run_scenario(lo).delivery_ratio,
+            run_scenario(hi).delivery_ratio);
+}
+
+TEST(Integration, BiggerBuffersNeverHurtFifo) {
+  Scenario tight = small_scenario("fifo");
+  tight.buffer_capacity = 1'000'000;
+  Scenario roomy = small_scenario("fifo");
+  roomy.buffer_capacity = 8'000'000;
+  const auto t = run_scenario(tight);
+  const auto r = run_scenario(roomy);
+  EXPECT_GE(r.delivery_ratio, t.delivery_ratio - 0.02);
+}
+
+TEST(Integration, SdsrpOverheadWellBelowFifo) {
+  // The most robust of the paper's claims (Fig. 8c/f/i): SDSRP's
+  // overhead ratio is far below FIFO's under congestion.
+  Scenario fifo_sc = small_scenario("fifo");
+  fifo_sc.buffer_capacity = 1'000'000;   // two slots: heavy congestion
+  fifo_sc.traffic.interval_min = 15.0;
+  fifo_sc.traffic.interval_max = 20.0;
+  Scenario sdsrp_sc = fifo_sc;
+  sdsrp_sc.policy = "sdsrp";
+  const auto fifo = run_replicated(fifo_sc, 3);
+  const auto sdsrp = run_replicated(sdsrp_sc, 3);
+  EXPECT_LT(sdsrp.overhead_ratio.mean(), 0.7 * fifo.overhead_ratio.mean());
+}
+
+TEST(Integration, SdsrpDeliveryBeatsFifoUnderHeavyCongestion) {
+  // The regime the paper emphasizes (small buffers, fast generation):
+  // SDSRP must deliver at least as much as plain FIFO Spray-and-Wait.
+  Scenario fifo_sc = small_scenario("fifo");
+  fifo_sc.buffer_capacity = 1'000'000;  // two slots
+  fifo_sc.traffic.interval_min = 10.0;
+  fifo_sc.traffic.interval_max = 15.0;
+  Scenario sdsrp_sc = fifo_sc;
+  sdsrp_sc.policy = "sdsrp";
+  const auto fifo = run_replicated(fifo_sc, 3);
+  const auto sdsrp = run_replicated(sdsrp_sc, 3);
+  EXPECT_GE(sdsrp.delivery_ratio.mean(), fifo.delivery_ratio.mean());
+}
+
+TEST(Integration, AckGossipKeepsInvariantsAndImprovesSdsrp) {
+  Scenario base = small_scenario("sdsrp");
+  base.buffer_capacity = 1'000'000;
+  Scenario acked = base;
+  acked.world.ack_gossip = true;
+  const auto plain = run_replicated(base, 2);
+  const auto with_ack = run_replicated(acked, 2);
+  EXPECT_GE(with_ack.delivery_ratio.mean(),
+            plain.delivery_ratio.mean() - 0.02);
+}
+
+TEST(Integration, SdsrpHopcountBelowFifo) {
+  // Paper Fig. 8b: SDSRP uses fewer hops than plain Spray-and-Wait.
+  const auto fifo = run_replicated(small_scenario("fifo"), 3);
+  const auto sdsrp = run_replicated(small_scenario("sdsrp"), 3);
+  EXPECT_LT(sdsrp.avg_hopcount.mean(), fifo.avg_hopcount.mean());
+}
+
+TEST(Integration, ReplicatedRunsReduceVariance) {
+  const auto m = run_replicated(small_scenario("fifo"), 4);
+  EXPECT_EQ(m.delivery_ratio.count(), 4u);
+  EXPECT_GT(m.delivery_ratio.mean(), 0.0);
+  EXPECT_GE(m.delivery_ratio.ci95_half_width(), 0.0);
+}
+
+TEST(Integration, SweepRunnerMatchesDirectRuns) {
+  ThreadPool pool(2);
+  std::vector<SweepPoint> points;
+  for (int copies : {4, 8}) {
+    SweepPoint p;
+    p.x = copies;
+    p.scenario = small_scenario("fifo");
+    p.scenario.traffic.initial_copies = copies;
+    points.push_back(std::move(p));
+  }
+  const auto parallel = run_sweep(points, 2, &pool);
+  const auto serial = run_sweep(points, 2, nullptr);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i].delivery_ratio.mean(),
+                     serial[i].delivery_ratio.mean());
+    EXPECT_DOUBLE_EQ(parallel[i].overhead_ratio.mean(),
+                     serial[i].overhead_ratio.mean());
+  }
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,111 @@
+// Unit tests for the Manhattan-grid mobility model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/mobility/manhattan_grid.hpp"
+
+namespace dtn {
+namespace {
+
+ManhattanGridConfig cfg(double w = 900.0, double h = 700.0,
+                        std::size_t bx = 9, std::size_t by = 7) {
+  ManhattanGridConfig c;
+  c.area = Rect::sized(w, h);
+  c.blocks_x = bx;
+  c.blocks_y = by;
+  c.v_min = c.v_max = 5.0;
+  return c;
+}
+
+// Distance from p to the nearest street line of the grid.
+double street_distance(const ManhattanGridConfig& c, Vec2 p) {
+  const double sx = c.area.width() / static_cast<double>(c.blocks_x);
+  const double sy = c.area.height() / static_cast<double>(c.blocks_y);
+  const double dx = std::fabs(std::remainder(p.x - c.area.min.x, sx));
+  const double dy = std::fabs(std::remainder(p.y - c.area.min.y, sy));
+  return std::min(dx, dy);
+}
+
+TEST(ManhattanGrid, StaysInsideArea) {
+  auto c = cfg();
+  ManhattanGridModel m(c, Rng(1));
+  for (int i = 0; i < 5000; ++i) {
+    m.advance(1.0);
+    EXPECT_TRUE(c.area.contains(m.position()));
+  }
+}
+
+TEST(ManhattanGrid, StaysOnStreets) {
+  auto c = cfg();
+  ManhattanGridModel m(c, Rng(2));
+  for (int i = 0; i < 2000; ++i) {
+    m.advance(1.0);
+    EXPECT_LT(street_distance(c, m.position()), 1e-6);
+  }
+}
+
+TEST(ManhattanGrid, MovesAxisAligned) {
+  auto c = cfg();
+  ManhattanGridModel m(c, Rng(3));
+  Vec2 prev = m.position();
+  for (int i = 0; i < 1000; ++i) {
+    m.advance(0.5);
+    const Vec2 d = m.position() - prev;
+    // Within one step the movement may round a corner; at least one axis
+    // displacement must dominate (no diagonal shortcuts through blocks).
+    EXPECT_LE(std::min(std::fabs(d.x), std::fabs(d.y)),
+              5.0 * 0.5 + 1e-9);
+    prev = m.position();
+  }
+}
+
+TEST(ManhattanGrid, SpeedBounded) {
+  auto c = cfg();
+  c.v_min = 2.0;
+  c.v_max = 6.0;
+  ManhattanGridModel m(c, Rng(4));
+  Vec2 prev = m.position();
+  for (int i = 0; i < 1000; ++i) {
+    m.advance(1.0);
+    EXPECT_LE(distance(prev, m.position()), 6.0 + 1e-9);
+    prev = m.position();
+  }
+}
+
+TEST(ManhattanGrid, CoversManyIntersectionsOverTime) {
+  auto c = cfg();
+  ManhattanGridModel m(c, Rng(5));
+  std::set<std::pair<std::size_t, std::size_t>> visited;
+  for (int i = 0; i < 20000; ++i) {
+    m.advance(2.0);
+    visited.emplace(m.target_ix(), m.target_iy());
+  }
+  // Should explore a good share of the (bx+1)*(by+1) = 80 intersections.
+  EXPECT_GT(visited.size(), 30u);
+}
+
+TEST(ManhattanGrid, DeterministicGivenSeed) {
+  auto c = cfg();
+  ManhattanGridModel a(c, Rng(6)), b(c, Rng(6));
+  for (int i = 0; i < 500; ++i) {
+    a.advance(1.0);
+    b.advance(1.0);
+    EXPECT_EQ(a.position(), b.position());
+  }
+}
+
+TEST(ManhattanGrid, RejectsBadConfig) {
+  auto c = cfg();
+  c.blocks_x = 0;
+  EXPECT_THROW(ManhattanGridModel(c, Rng(1)), PreconditionError);
+  c = cfg();
+  c.p_turn = 1.5;
+  EXPECT_THROW(ManhattanGridModel(c, Rng(1)), PreconditionError);
+  c = cfg();
+  c.v_min = 0.0;
+  EXPECT_THROW(ManhattanGridModel(c, Rng(1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,113 @@
+// Unit tests for the traffic source.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/message_generator.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn {
+namespace {
+
+MessageGenConfig base_cfg() {
+  MessageGenConfig cfg;
+  cfg.interval_min = 10.0;
+  cfg.interval_max = 10.0;  // deterministic spacing
+  cfg.size = 1000;
+  cfg.ttl = 500.0;
+  cfg.initial_copies = 8;
+  return cfg;
+}
+
+TEST(MessageGenerator, DeterministicSpacing) {
+  MessageGenerator gen(base_cfg(), 10, Rng(1));
+  const auto batch = gen.poll(100.0);
+  EXPECT_EQ(batch.size(), 10u);  // t = 10, 20, ..., 100
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i].created - batch[i - 1].created, 10.0);
+  }
+}
+
+TEST(MessageGenerator, PollIsIncremental) {
+  MessageGenerator gen(base_cfg(), 10, Rng(1));
+  EXPECT_EQ(gen.poll(35.0).size(), 3u);
+  EXPECT_EQ(gen.poll(35.0).size(), 0u);  // nothing new
+  EXPECT_EQ(gen.poll(60.0).size(), 3u);  // t = 40, 50, 60 due at 60
+}
+
+TEST(MessageGenerator, IdsAreUniqueAndSequential) {
+  MessageGenerator gen(base_cfg(), 10, Rng(2));
+  std::set<MessageId> ids;
+  for (const Message& m : gen.poll(1000.0)) {
+    EXPECT_TRUE(ids.insert(m.id).second);
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(MessageGenerator, SourceNeverEqualsDestination) {
+  MessageGenConfig cfg = base_cfg();
+  MessageGenerator gen(cfg, 3, Rng(3));  // small N stresses the remap
+  for (const Message& m : gen.poll(5000.0)) {
+    EXPECT_NE(m.source, m.destination);
+    EXPECT_LT(m.source, 3u);
+    EXPECT_LT(m.destination, 3u);
+  }
+}
+
+TEST(MessageGenerator, SourcesAndDestsCoverAllNodes) {
+  MessageGenerator gen(base_cfg(), 5, Rng(4));
+  std::set<NodeId> sources, dests;
+  for (const Message& m : gen.poll(20000.0)) {
+    sources.insert(m.source);
+    dests.insert(m.destination);
+  }
+  EXPECT_EQ(sources.size(), 5u);
+  EXPECT_EQ(dests.size(), 5u);
+}
+
+TEST(MessageGenerator, CopiesTtlAndSizePopulated) {
+  MessageGenerator gen(base_cfg(), 10, Rng(5));
+  const auto batch = gen.poll(10.0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].size, 1000);
+  EXPECT_EQ(batch[0].copies, 8);
+  EXPECT_EQ(batch[0].initial_copies, 8);
+  EXPECT_DOUBLE_EQ(batch[0].ttl, 500.0);
+  EXPECT_DOUBLE_EQ(batch[0].received, batch[0].created);
+}
+
+TEST(MessageGenerator, VariableSizesStayInRange) {
+  MessageGenConfig cfg = base_cfg();
+  cfg.size = 100;
+  cfg.size_max = 400;
+  MessageGenerator gen(cfg, 10, Rng(6));
+  bool below_max = false, above_min = false;
+  for (const Message& m : gen.poll(10000.0)) {
+    EXPECT_GE(m.size, 100);
+    EXPECT_LE(m.size, 400);
+    if (m.size < 400) below_max = true;
+    if (m.size > 100) above_min = true;
+  }
+  EXPECT_TRUE(below_max);
+  EXPECT_TRUE(above_min);
+}
+
+TEST(MessageGenerator, StopTimeRespected) {
+  MessageGenConfig cfg = base_cfg();
+  cfg.stop = 45.0;
+  MessageGenerator gen(cfg, 10, Rng(7));
+  EXPECT_EQ(gen.poll(1000.0).size(), 4u);  // t = 10, 20, 30, 40
+}
+
+TEST(MessageGenerator, RejectsBadConfig) {
+  MessageGenConfig cfg = base_cfg();
+  cfg.interval_min = 0.0;
+  EXPECT_THROW(MessageGenerator(cfg, 10, Rng(1)), PreconditionError);
+  cfg = base_cfg();
+  cfg.initial_copies = 0;
+  EXPECT_THROW(MessageGenerator(cfg, 10, Rng(1)), PreconditionError);
+  EXPECT_THROW(MessageGenerator(base_cfg(), 1, Rng(1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,176 @@
+// Tests for the report observers and the kernel's event hook wiring.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/buffer/fifo.hpp"
+#include "src/config/scenario.hpp"
+#include "src/mobility/stationary.hpp"
+#include "src/report/observers.hpp"
+#include "src/routing/spray_and_wait.hpp"
+
+namespace dtn {
+namespace {
+
+Message msg(MessageId id, NodeId src, NodeId dst, int copies = 4) {
+  Message m;
+  m.id = id;
+  m.source = src;
+  m.destination = dst;
+  m.size = 100;
+  m.created = 0.0;
+  m.ttl = 500.0;
+  m.copies = copies;
+  m.initial_copies = copies;
+  return m;
+}
+
+std::unique_ptr<World> two_node_world() {
+  WorldConfig cfg;
+  cfg.step = 1.0;
+  cfg.duration = 100.0;
+  cfg.range = 10.0;
+  cfg.bandwidth = 100.0;  // 1 s per message
+  auto w = std::make_unique<World>(cfg);
+  w->set_router(std::make_unique<SprayAndWaitRouter>());
+  w->set_policy(std::make_unique<FifoPolicy>());
+  w->add_node(std::make_unique<StationaryModel>(Vec2{0, 0}), 10000);
+  w->add_node(std::make_unique<StationaryModel>(Vec2{5, 0}), 10000);
+  return w;
+}
+
+TEST(Observers, DeliveredMessagesReportRecordsRow) {
+  auto w = two_node_world();
+  DeliveredMessagesReport report;
+  w->add_observer(&report);
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 1)));
+  w->run_until(5.0);
+  ASSERT_EQ(report.rows().size(), 1u);
+  const auto& r = report.rows()[0];
+  EXPECT_EQ(r.id, 1u);
+  EXPECT_EQ(r.source, 0u);
+  EXPECT_EQ(r.destination, 1u);
+  EXPECT_EQ(r.last_hop, 0u);
+  EXPECT_EQ(r.hops, 1);
+  EXPECT_GT(r.delivered_at, r.created);
+  EXPECT_EQ(report.to_table().rows(), 1u);
+  EXPECT_GT(report.latency_quantile(0.5), 0.0);
+}
+
+TEST(Observers, EventLogCapturesLifecycle) {
+  auto w = two_node_world();
+  EventLog log;
+  w->add_observer(&log);
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 1)));
+  w->run_until(5.0);
+  EXPECT_EQ(log.count_kind("CREATE"), 1u);
+  EXPECT_EQ(log.count_kind("UP"), 1u);
+  EXPECT_EQ(log.count_kind("SEND"), 1u);
+  EXPECT_EQ(log.count_kind("RECV"), 1u);
+  EXPECT_EQ(log.count_kind("DELIVER"), 1u);
+  EXPECT_EQ(log.count_kind("DOWN"), 0u);
+}
+
+TEST(Observers, ContactReportTracksDurationsAndGaps) {
+  // Scripted flapping link: use a stationary pair and a teleporting node.
+  WorldConfig cfg;
+  cfg.step = 1.0;
+  cfg.duration = 100.0;
+  cfg.range = 10.0;
+  cfg.bandwidth = 100.0;
+  World w(cfg);
+  w.set_router(std::make_unique<SprayAndWaitRouter>());
+  w.set_policy(std::make_unique<FifoPolicy>());
+  w.add_node(std::make_unique<StationaryModel>(Vec2{0, 0}), 10000);
+  const NodeId b =
+      w.add_node(std::make_unique<StationaryModel>(Vec2{5, 0}), 10000);
+  ContactReport report;
+  w.add_observer(&report);
+
+  auto* mover = dynamic_cast<StationaryModel*>(&w.node(b).mobility());
+  ASSERT_NE(mover, nullptr);
+  w.run_until(3.0);  // contact up
+  EXPECT_EQ(report.total_contacts(), 1u);
+  mover->move_to({100, 0});
+  w.run_until(10.0);  // down
+  ASSERT_EQ(report.contact_durations().size(), 1u);
+  mover->move_to({5, 0});
+  w.run_until(15.0);  // up again -> one intermeeting gap
+  EXPECT_EQ(report.total_contacts(), 2u);
+  ASSERT_EQ(report.intermeeting_times().size(), 1u);
+  EXPECT_GT(report.intermeeting_times()[0], 0.0);
+  EXPECT_GE(report.to_table().rows(), 6u);
+}
+
+TEST(Observers, BufferOccupancySamplesAtInterval) {
+  auto w = two_node_world();
+  BufferOccupancyReport report(10.0);
+  w->add_observer(&report);
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 1)));
+  w->run_until(50.0);
+  ASSERT_GE(report.samples().size(), 4u);
+  for (const auto& s : report.samples()) {
+    EXPECT_GE(s.max, s.mean);
+    EXPECT_GE(s.mean, 0.0);
+    EXPECT_LE(s.max, 1.0);
+  }
+  EXPECT_EQ(report.to_table().rows(), report.samples().size());
+}
+
+TEST(Observers, DropAndExpireHooksFire) {
+  WorldConfig cfg;
+  cfg.step = 1.0;
+  cfg.duration = 600.0;
+  cfg.range = 10.0;
+  cfg.bandwidth = 100.0;
+  World w(cfg);
+  w.set_router(std::make_unique<SprayAndWaitRouter>());
+  w.set_policy(std::make_unique<FifoPolicy>());
+  // Out of range: nothing transfers; TTL must expire message 1.
+  w.add_node(std::make_unique<StationaryModel>(Vec2{0, 0}), 250);
+  w.add_node(std::make_unique<StationaryModel>(Vec2{500, 0}), 250);
+  EventLog log;
+  w.add_observer(&log);
+  ASSERT_TRUE(w.inject_message(msg(1, 0, 1)));
+  ASSERT_TRUE(w.inject_message(msg(2, 0, 1)));
+  // Third message overflows the 2-slot buffer -> FIFO drop of message 1.
+  ASSERT_TRUE(w.inject_message(msg(3, 0, 1)));
+  EXPECT_EQ(log.count_kind("DROP"), 1u);
+  w.run_until(600.0);
+  EXPECT_EQ(log.count_kind("EXPIRE"), 2u);  // messages 2 and 3 at TTL 500
+}
+
+TEST(Observers, MultipleObserversFireInOrder) {
+  auto w = two_node_world();
+  EventLog first, second;
+  w->add_observer(&first);
+  w->add_observer(&second);
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 1)));
+  w->run_until(5.0);
+  EXPECT_EQ(first.lines().size(), second.lines().size());
+  EXPECT_GT(first.lines().size(), 0u);
+}
+
+TEST(Observers, NullObserverRejected) {
+  auto w = two_node_world();
+  EXPECT_THROW(w->add_observer(nullptr), PreconditionError);
+}
+
+TEST(Observers, WorkAtScenarioScale) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 20;
+  sc.world.duration = 2000.0;
+  sc.rwp.area = Rect::sized(1000.0, 800.0);
+  sc.traffic.ttl = 1500.0;
+  auto world = build_world(sc);
+  DeliveredMessagesReport delivered;
+  ContactReport contacts;
+  world->add_observer(&delivered);
+  world->add_observer(&contacts);
+  world->run();
+  EXPECT_EQ(delivered.rows().size(), world->stats().delivered);
+  EXPECT_GT(contacts.total_contacts(), 0u);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,85 @@
+// Unit tests for the GlobalRegistry ground-truth bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/core/oracle.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(GlobalRegistry, CreatedMessageHasSourceHolderOnly) {
+  GlobalRegistry r;
+  r.on_created(1, 5);
+  EXPECT_TRUE(r.known(1));
+  EXPECT_DOUBLE_EQ(r.m_seen(1), 0.0);      // m excludes the source
+  EXPECT_DOUBLE_EQ(r.n_holding(1), 1.0);   // the source holds it
+  EXPECT_DOUBLE_EQ(r.drops(1), 0.0);
+}
+
+TEST(GlobalRegistry, UnknownMessageReadsAsZero) {
+  GlobalRegistry r;
+  EXPECT_FALSE(r.known(42));
+  EXPECT_DOUBLE_EQ(r.m_seen(42), 0.0);
+  EXPECT_DOUBLE_EQ(r.n_holding(42), 0.0);
+  EXPECT_DOUBLE_EQ(r.drops(42), 0.0);
+}
+
+TEST(GlobalRegistry, DuplicateCreateThrows) {
+  GlobalRegistry r;
+  r.on_created(1, 0);
+  EXPECT_THROW(r.on_created(1, 0), PreconditionError);
+}
+
+TEST(GlobalRegistry, ReceiveGrowsSeenAndHolders) {
+  GlobalRegistry r;
+  r.on_created(1, 0);
+  r.on_copy_received(1, 2);
+  r.on_copy_received(1, 3);
+  EXPECT_DOUBLE_EQ(r.m_seen(1), 2.0);
+  EXPECT_DOUBLE_EQ(r.n_holding(1), 3.0);
+  // Re-receiving at the same node is idempotent for both sets.
+  r.on_copy_received(1, 2);
+  EXPECT_DOUBLE_EQ(r.m_seen(1), 2.0);
+  EXPECT_DOUBLE_EQ(r.n_holding(1), 3.0);
+}
+
+TEST(GlobalRegistry, SourceReceiptDoesNotCountTowardSeen) {
+  GlobalRegistry r;
+  r.on_created(1, 0);
+  r.on_copy_received(1, 0);
+  EXPECT_DOUBLE_EQ(r.m_seen(1), 0.0);
+}
+
+TEST(GlobalRegistry, RemovalUpdatesHoldersAndDrops) {
+  GlobalRegistry r;
+  r.on_created(1, 0);
+  r.on_copy_received(1, 2);
+  r.on_copy_removed(1, 2, /*dropped=*/true);
+  EXPECT_DOUBLE_EQ(r.n_holding(1), 1.0);
+  EXPECT_DOUBLE_EQ(r.drops(1), 1.0);
+  // Seen is history, not current state.
+  EXPECT_DOUBLE_EQ(r.m_seen(1), 1.0);
+  r.on_copy_removed(1, 0, /*dropped=*/false);  // TTL, not a drop
+  EXPECT_DOUBLE_EQ(r.n_holding(1), 0.0);
+  EXPECT_DOUBLE_EQ(r.drops(1), 1.0);
+}
+
+TEST(GlobalRegistry, OperationsOnUnknownMessageThrow) {
+  GlobalRegistry r;
+  EXPECT_THROW(r.on_copy_received(9, 1), PreconditionError);
+  EXPECT_THROW(r.on_copy_removed(9, 1, true), PreconditionError);
+}
+
+TEST(GlobalRegistry, DropAndRereceiveCycle) {
+  GlobalRegistry r;
+  r.on_created(1, 0);
+  r.on_copy_received(1, 2);
+  r.on_copy_removed(1, 2, true);
+  r.on_copy_received(1, 2);  // node 2 takes it again
+  EXPECT_DOUBLE_EQ(r.n_holding(1), 2.0);
+  EXPECT_DOUBLE_EQ(r.m_seen(1), 1.0);
+  EXPECT_DOUBLE_EQ(r.drops(1), 1.0);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,250 @@
+// Tests for the SDSRP analytical core (Eqs. 4-13): consistency between the
+// closed form, the probability form, and the Taylor series; the Fig. 4
+// peak at P(R) = 1 - 1/e; and boundary behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sdsrp/priority_model.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn::sdsrp {
+namespace {
+
+PriorityInputs base_inputs() {
+  PriorityInputs in;
+  in.n_nodes = 100;
+  in.lambda = 1.0 / 30000.0;
+  in.copies = 8.0;
+  in.remaining_ttl = 9000.0;
+  in.m_seen = 4.0;
+  in.n_holding = 5.0;
+  return in;
+}
+
+TEST(PriorityModel, SprayTermMatchesHandComputation) {
+  PriorityInputs in = base_inputs();
+  // A = (log2 C + 1) R - log2C (log2C+1) / (2 (N-1) λ)
+  const double lc = std::log2(8.0);
+  const double expected =
+      (lc + 1.0) * 9000.0 - lc * (lc + 1.0) / (2.0 * 99.0 * in.lambda);
+  EXPECT_NEAR(spray_term(in), expected, 1e-9);
+}
+
+TEST(PriorityModel, SprayTermWaitPhaseIsRemainingTtl) {
+  PriorityInputs in = base_inputs();
+  in.copies = 1.0;  // log2 = 0 -> A = R
+  EXPECT_DOUBLE_EQ(spray_term(in), in.remaining_ttl);
+}
+
+TEST(PriorityModel, SprayTermNegativeWhenTtlTooShort) {
+  PriorityInputs in = base_inputs();
+  in.copies = 64.0;
+  in.remaining_ttl = 1.0;  // cannot spray 64 copies in 1 second
+  EXPECT_LT(spray_term(in), 0.0);
+}
+
+TEST(PriorityModel, ProbAlreadyDeliveredIsMOverN1) {
+  PriorityInputs in = base_inputs();
+  EXPECT_DOUBLE_EQ(prob_already_delivered(in), 4.0 / 99.0);
+  in.m_seen = 500.0;  // clamped
+  EXPECT_DOUBLE_EQ(prob_already_delivered(in), 1.0);
+}
+
+TEST(PriorityModel, ProbRemainingInUnitInterval) {
+  PriorityInputs in = base_inputs();
+  const double p = prob_deliver_in_remaining(in);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(PriorityModel, ProbRemainingIncreasesWithTtl) {
+  PriorityInputs lo = base_inputs(), hi = base_inputs();
+  lo.remaining_ttl = 1000.0;
+  hi.remaining_ttl = 15000.0;
+  EXPECT_LT(prob_deliver_in_remaining(lo), prob_deliver_in_remaining(hi));
+}
+
+TEST(PriorityModel, DeliveryProbabilityCombinesViaEq4) {
+  PriorityInputs in = base_inputs();
+  const double pt = prob_already_delivered(in);
+  const double pr = prob_deliver_in_remaining(in);
+  EXPECT_NEAR(delivery_probability(in), pt + (1 - pt) * pr, 1e-12);
+}
+
+TEST(PriorityModel, Eq10EqualsEq11) {
+  // U = (1-PT) λ A e^{-λnA}  ==  (1-PT)(PR-1)ln(1-PR)/n with
+  // PR = 1 - e^{-λnA}; verify across a range of inputs.
+  for (double copies : {1.0, 2.0, 8.0, 32.0}) {
+    for (double ttl : {500.0, 5000.0, 15000.0}) {
+      for (double n : {1.0, 3.0, 10.0}) {
+        PriorityInputs in = base_inputs();
+        in.copies = copies;
+        in.remaining_ttl = ttl;
+        in.n_holding = n;
+        // The probability form clamps P(R) at 0, so the identity only
+        // holds where the spray term is nonnegative.
+        if (spray_term(in) < 0.0) continue;
+        const double pr = prob_deliver_in_remaining(in);
+        if (pr >= 1.0 - 1e-12) continue;  // log form undefined at 1
+        const double via10 = priority_eq10(in);
+        const double via11 =
+            priority_eq11(prob_already_delivered(in), pr, n);
+        EXPECT_NEAR(via10, via11, std::abs(via10) * 1e-6 + 1e-12)
+            << "C=" << copies << " R=" << ttl << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(PriorityModel, Eq11PeaksAtOneMinusInverseE) {
+  // For fixed PT and n, U(PR) = (PR-1)ln(1-PR) must peak at 1 - 1/e.
+  const double peak = peak_prob_remaining();
+  EXPECT_NEAR(peak, 1.0 - std::exp(-1.0), 1e-12);
+  const double at_peak = priority_eq11(0.0, peak, 1.0);
+  for (double pr : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_LE(priority_eq11(0.0, pr, 1.0), at_peak + 1e-12) << "PR=" << pr;
+  }
+  // Strictly increasing below the peak, decreasing above.
+  EXPECT_LT(priority_eq11(0.0, 0.2, 1.0), priority_eq11(0.0, 0.5, 1.0));
+  EXPECT_GT(priority_eq11(0.0, 0.7, 1.0), priority_eq11(0.0, 0.95, 1.0));
+}
+
+TEST(PriorityModel, HigherDeliveredProbabilityLowersPriority) {
+  // Paper: "priority decreases monotonously with delivered probability."
+  const double pr = 0.4;
+  EXPECT_GT(priority_eq11(0.1, pr, 2.0), priority_eq11(0.5, pr, 2.0));
+  EXPECT_GT(priority_eq11(0.5, pr, 2.0), priority_eq11(0.9, pr, 2.0));
+}
+
+TEST(PriorityModel, MoreHoldersLowersPriority) {
+  // Paper: greater n_i(T_i) leads to lower priority.
+  PriorityInputs a = base_inputs(), b = base_inputs();
+  a.n_holding = 2.0;
+  b.n_holding = 20.0;
+  EXPECT_GT(priority_eq10(a), priority_eq10(b));
+}
+
+TEST(PriorityModel, TaylorConvergesToEq11) {
+  const double pt = 0.2, pr = 0.55, n = 3.0;
+  const double exact = priority_eq11(pt, pr, n);
+  double prev_err = 1e300;
+  for (std::size_t k : {1u, 2u, 5u, 10u, 20u, 50u}) {
+    const double err = std::abs(priority_taylor(pt, pr, n, k) - exact);
+    EXPECT_LE(err, prev_err + 1e-15);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-9);
+}
+
+TEST(PriorityModel, TaylorUnderestimatesMonotonically) {
+  // Partial sums of a positive series: each extra term raises the value.
+  const double pt = 0.0, pr = 0.7, n = 1.0;
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 30; ++k) {
+    const double u = priority_taylor(pt, pr, n, k);
+    EXPECT_GE(u, prev);
+    prev = u;
+  }
+  EXPECT_LE(prev, priority_eq11(pt, pr, n) + 1e-12);
+}
+
+TEST(PriorityModel, Eq12PeakCondition) {
+  // Eq. 12: U_i is maximal when 1/(λ n_i) = Σ_{k=0}^{log2 C_i}
+  // [R_i − k E(I_min)], i.e. when λ n_i A_i = 1 and thus
+  // P(R_i) = 1 − 1/e. Construct inputs satisfying the condition and
+  // check both the probability value and local maximality in R.
+  PriorityInputs in = base_inputs();
+  in.copies = 8.0;  // log2 = 3
+  in.n_holding = 4.0;
+  // Solve (log2C+1) R − log2C(log2C+1)/(2(N−1)λ) = 1/(λ n) for R.
+  const double lc = 3.0;
+  const double target_a = 1.0 / (in.lambda * in.n_holding);
+  in.remaining_ttl =
+      (target_a + lc * (lc + 1.0) /
+                      (2.0 * static_cast<double>(in.n_nodes - 1) *
+                       in.lambda)) /
+      (lc + 1.0);
+  EXPECT_NEAR(in.lambda * in.n_holding * spray_term(in), 1.0, 1e-9);
+  EXPECT_NEAR(prob_deliver_in_remaining(in), 1.0 - std::exp(-1.0), 1e-9);
+
+  // Local maximality: perturbing R in either direction lowers U.
+  const double at_peak = priority_eq10(in);
+  PriorityInputs lo = in, hi = in;
+  lo.remaining_ttl *= 0.8;
+  hi.remaining_ttl *= 1.2;
+  EXPECT_GT(at_peak, priority_eq10(lo));
+  EXPECT_GT(at_peak, priority_eq10(hi));
+}
+
+TEST(PriorityModel, FigTwoCrossover) {
+  // The paper's Fig. 2 point: the priority ordering of two coexisting
+  // messages flips as they age — U is not monotone in (C_i, R_i).
+  // With Eq. 10 the flip arises because each message's P(R) slides
+  // along the Fig. 4 hump: M_i (C=16, TTL 12000) starts past the peak
+  // (near-certain delivery, low marginal utility) and decays toward it
+  // (U rising), while M_j (C=4, TTL 6000) starts near the peak and
+  // overshoots toward expiry (U falling).
+  auto u = [](double copies, double remaining) {
+    PriorityInputs in;
+    in.n_nodes = 100;
+    in.lambda = 1.0 / 30000.0;
+    in.copies = copies;
+    in.remaining_ttl = remaining;
+    in.m_seen = 4.0;
+    in.n_holding = 2.0;
+    return priority_eq10(in);
+  };
+  EXPECT_LT(u(16, 12000), u(4, 6000));              // early: M_j on top
+  EXPECT_GT(u(16, 12000 - 5500), u(4, 6000 - 5500));  // late: M_i on top
+}
+
+TEST(PriorityModel, NegativeSprayTermGivesNegativePriority) {
+  PriorityInputs in = base_inputs();
+  in.copies = 64.0;
+  in.remaining_ttl = 1.0;
+  EXPECT_LT(priority_eq10(in), 0.0);
+}
+
+TEST(PriorityModel, ExtremeInputsStayFinite) {
+  PriorityInputs in = base_inputs();
+  in.copies = 1e6;
+  in.remaining_ttl = 1e9;
+  in.n_holding = 1e6;
+  EXPECT_TRUE(std::isfinite(priority_eq10(in)));
+  in.remaining_ttl = -1e9;
+  EXPECT_TRUE(std::isfinite(priority_eq10(in)));
+}
+
+TEST(PriorityModel, PreconditionsEnforced) {
+  PriorityInputs in = base_inputs();
+  in.n_nodes = 1;
+  EXPECT_THROW(spray_term(in), PreconditionError);
+  in = base_inputs();
+  in.lambda = 0.0;
+  EXPECT_THROW(spray_term(in), PreconditionError);
+  EXPECT_THROW(priority_eq11(0.0, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(priority_eq11(0.0, 0.5, 0.0), PreconditionError);
+  EXPECT_THROW(priority_taylor(0.0, -0.1, 1.0, 3), PreconditionError);
+}
+
+class TaylorAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TaylorAccuracy, ErrorBoundedByNextTerm) {
+  // Remainder of the alternating-free positive series is bounded by the
+  // tail: |U - U_k| <= (1-PT)(1-PR) * PR^{k+1}/((k+1)(1-PR)) / n.
+  const std::size_t k = GetParam();
+  const double pt = 0.1, pr = 0.6, n = 2.0;
+  const double exact = priority_eq11(pt, pr, n);
+  const double approx = priority_taylor(pt, pr, n, k);
+  const double tail =
+      (1 - pt) * std::pow(pr, static_cast<double>(k + 1)) /
+      (static_cast<double>(k + 1)) / n;
+  EXPECT_LE(std::abs(exact - approx), tail + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Terms, TaylorAccuracy,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace dtn::sdsrp

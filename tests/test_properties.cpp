@@ -1,0 +1,200 @@
+// Property-based tests: structural invariants that must hold for ANY
+// seed, policy, and router — checked over randomized small worlds at
+// multiple points in simulated time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <unordered_map>
+
+#include "src/config/scenario.hpp"
+
+namespace dtn {
+namespace {
+
+using PropertyParams = std::tuple<std::uint64_t /*seed*/,
+                                  const char* /*policy*/,
+                                  const char* /*router*/>;
+
+class WorldInvariants : public ::testing::TestWithParam<PropertyParams> {
+ protected:
+  Scenario scenario() const {
+    const auto [seed, policy, router] = GetParam();
+    Scenario sc = Scenario::random_waypoint_paper();
+    sc.n_nodes = 25;
+    sc.world.duration = 4000.0;
+    sc.rwp.area = Rect::sized(1200.0, 900.0);
+    sc.traffic.interval_min = 20.0;
+    sc.traffic.interval_max = 30.0;
+    sc.traffic.ttl = 2500.0;
+    sc.traffic.initial_copies = 8;
+    sc.buffer_capacity = 1'500'000;  // three slots: drops guaranteed
+    sc.seed = seed;
+    sc.policy = policy;
+    sc.router = router;
+    return sc;
+  }
+
+  // Checks every invariant on the current world state.
+  static void check_invariants(const World& world) {
+    std::unordered_map<MessageId, std::size_t> holders;
+    std::unordered_map<MessageId, int> tokens;
+    std::unordered_map<MessageId, int> budget;
+
+    for (NodeId id = 0; id < world.node_count(); ++id) {
+      const Node& node = world.node(id);
+      // Buffer byte accounting is exact.
+      std::int64_t used = 0;
+      for (const auto& m : node.buffer().messages()) {
+        used += m.size;
+        ++holders[m.id];
+        tokens[m.id] += m.copies;
+        budget[m.id] = m.initial_copies;
+        // Per-copy sanity.
+        EXPECT_GE(m.copies, 1) << "node " << id << " msg " << m.id;
+        EXPECT_LE(m.copies, m.initial_copies);
+        EXPECT_GE(m.hops, 0);
+        EXPECT_GE(m.received, m.created);
+        // Spray lineage is time-ordered.
+        for (std::size_t k = 1; k < m.spray_times.size(); ++k) {
+          EXPECT_LE(m.spray_times[k - 1], m.spray_times[k] + 1e-9);
+        }
+      }
+      EXPECT_EQ(used, node.buffer().used()) << "node " << id;
+      EXPECT_LE(used, node.buffer().capacity()) << "node " << id;
+    }
+
+    // Registry ground truth matches buffers.
+    for (const auto& [msg, count] : holders) {
+      EXPECT_DOUBLE_EQ(world.registry().n_holding(msg),
+                       static_cast<double>(count))
+          << "msg " << msg;
+    }
+    // Copy-token conservation: spray-family routers never exceed the
+    // budget (flooding routers do not track tokens).
+    const std::string router_name = world.router().name();
+    if (router_name.find("spray") != std::string::npos) {
+      for (const auto& [msg, total] : tokens) {
+        EXPECT_LE(total, budget[msg]) << "msg " << msg;
+      }
+    }
+    // Binary-spray lineage consistency: with a power-of-two budget, a
+    // copy that went through k binary splits holds C/2^k tokens and
+    // carries exactly k spray timestamps (the Eq. 15 input).
+    if (router_name == std::string("spray-and-wait-binary")) {
+      for (NodeId id = 0; id < world.node_count(); ++id) {
+        for (const auto& m : world.node(id).buffer().messages()) {
+          if ((m.initial_copies & (m.initial_copies - 1)) != 0) continue;
+          const double k = std::log2(static_cast<double>(m.initial_copies) /
+                                     static_cast<double>(m.copies));
+          EXPECT_DOUBLE_EQ(static_cast<double>(m.spray_times.size()), k)
+              << "msg " << m.id << " at node " << id;
+        }
+      }
+    }
+
+    // Stats consistency.
+    const SimStats& s = world.stats();
+    EXPECT_LE(s.delivered, s.created);
+    EXPECT_LE(s.transfers_completed + s.transfers_aborted +
+                  s.admission_rejected + s.duplicates,
+              s.transfers_started + s.transfers_aborted);
+    EXPECT_GE(s.transfers_started,
+              s.transfers_completed + s.admission_rejected + s.duplicates);
+    EXPECT_EQ(s.hopcounts.count(), s.delivered);
+    EXPECT_EQ(s.latency.count(), s.delivered);
+    if (s.delivered > 0) {
+      EXPECT_GE(s.hopcounts.min(), 1.0);
+      EXPECT_GE(s.latency.min(), 0.0);
+    }
+  }
+};
+
+TEST_P(WorldInvariants, HoldAtEveryCheckpoint) {
+  auto world = build_world(scenario());
+  for (double t = 1000.0; t <= 4000.0; t += 1000.0) {
+    world->run_until(t);
+    check_invariants(*world);
+  }
+}
+
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+std::string policy_seed_name(
+    const ::testing::TestParamInfo<PropertyParams>& info) {
+  return sanitize(std::string(std::get<1>(info.param)) + "_seed" +
+                  std::to_string(std::get<0>(info.param)));
+}
+
+std::string router_policy_name(
+    const ::testing::TestParamInfo<PropertyParams>& info) {
+  return sanitize(std::string(std::get<2>(info.param)) + "_" +
+                  std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, WorldInvariants,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values("fifo", "ttl-ratio", "copies-ratio",
+                                         "sdsrp", "sdsrp-oracle", "random"),
+                       ::testing::Values("spray-and-wait")),
+    policy_seed_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    Routers, WorldInvariants,
+    ::testing::Combine(::testing::Values(7u),
+                       ::testing::Values("fifo", "sdsrp"),
+                       ::testing::Values("epidemic", "direct-delivery",
+                                         "first-contact", "spray-and-focus",
+                                         "spray-and-wait-source")),
+    router_policy_name);
+
+// Determinism as a property: identical seeds give identical outcomes for
+// every policy (including RandomPolicy, whose stream is seeded).
+class DeterminismProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismProperty, IdenticalSeedsIdenticalRuns) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 20;
+  sc.world.duration = 2500.0;
+  sc.rwp.area = Rect::sized(1000.0, 800.0);
+  sc.traffic.ttl = 2000.0;
+  sc.policy = GetParam();
+  auto w1 = build_world(sc);
+  auto w2 = build_world(sc);
+  w1->run();
+  w2->run();
+  EXPECT_EQ(w1->stats().delivered, w2->stats().delivered);
+  EXPECT_EQ(w1->stats().transfers_started, w2->stats().transfers_started);
+  EXPECT_EQ(w1->stats().drops, w2->stats().drops);
+  EXPECT_EQ(w1->stats().ttl_expired, w2->stats().ttl_expired);
+  // Final buffer states match message-for-message.
+  for (NodeId id = 0; id < w1->node_count(); ++id) {
+    const auto& m1 = w1->node(id).buffer().messages();
+    const auto& m2 = w2->node(id).buffer().messages();
+    ASSERT_EQ(m1.size(), m2.size()) << "node " << id;
+    for (std::size_t i = 0; i < m1.size(); ++i) {
+      EXPECT_EQ(m1[i].id, m2[i].id);
+      EXPECT_EQ(m1[i].copies, m2[i].copies);
+      EXPECT_EQ(m1[i].hops, m2[i].hops);
+    }
+  }
+}
+
+std::string bare_policy_name(
+    const ::testing::TestParamInfo<const char*>& info) {
+  return sanitize(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DeterminismProperty,
+                         ::testing::Values("fifo", "random", "sdsrp",
+                                           "copies-ratio"),
+                         bare_policy_name);
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,122 @@
+// Unit tests for the PRoPHET router: table dynamics (encounter, aging,
+// transitivity) and forwarding decisions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/buffer/fifo.hpp"
+#include "src/core/node.hpp"
+#include "src/mobility/stationary.hpp"
+#include "src/routing/prophet.hpp"
+
+namespace dtn {
+namespace {
+
+Message msg(MessageId id, NodeId src, NodeId dst) {
+  Message m;
+  m.id = id;
+  m.source = src;
+  m.destination = dst;
+  m.size = 100;
+  m.created = 0.0;
+  m.ttl = 10000.0;
+  return m;
+}
+
+class ProphetTest : public ::testing::Test {
+ protected:
+  ProphetTest() : policy_(std::make_unique<FifoPolicy>()) {}
+
+  Node make_node(NodeId id) {
+    return Node(id, std::make_unique<StationaryModel>(Vec2{0, 0}), 100000,
+                &router_, policy_.get(), {});
+  }
+
+  PolicyContext ctx(const Node& n, SimTime now) {
+    PolicyContext c;
+    c.now = now;
+    c.n_nodes = 10;
+    c.node = &n;
+    return c;
+  }
+
+  ProphetRouter router_;
+  std::unique_ptr<FifoPolicy> policy_;
+};
+
+TEST_F(ProphetTest, EncounterRaisesPredictability) {
+  Node a = make_node(0), b = make_node(1);
+  EXPECT_DOUBLE_EQ(router_.predictability(0, 1, 0.0), 0.0);
+  router_.on_link_up(a, b, 10.0);
+  EXPECT_DOUBLE_EQ(router_.predictability(0, 1, 10.0), 0.75);
+  EXPECT_DOUBLE_EQ(router_.predictability(1, 0, 10.0), 0.75);
+  // A second encounter raises it further: P += (1-P)·P_init.
+  router_.on_link_up(a, b, 20.0);
+  EXPECT_GT(router_.predictability(0, 1, 20.0), 0.75);
+  EXPECT_LT(router_.predictability(0, 1, 20.0), 1.0);
+}
+
+TEST_F(ProphetTest, PredictabilityAgesOverTime) {
+  Node a = make_node(0), b = make_node(1);
+  router_.on_link_up(a, b, 0.0);
+  const double fresh = router_.predictability(0, 1, 0.0);
+  const double later = router_.predictability(0, 1, 3000.0);
+  EXPECT_LT(later, fresh);
+  EXPECT_GT(later, 0.0);
+  // γ^(3000/30) = 0.98^100.
+  EXPECT_NEAR(later, fresh * std::pow(0.98, 100.0), 1e-9);
+}
+
+TEST_F(ProphetTest, TransitivityPropagates) {
+  Node a = make_node(0), b = make_node(1), c = make_node(2);
+  // b meets c, then a meets b: a should gain predictability for c.
+  router_.on_link_up(b, c, 0.0);
+  router_.on_link_up(a, b, 1.0);
+  const double p_ac = router_.predictability(0, 2, 1.0);
+  EXPECT_GT(p_ac, 0.0);
+  // P(a,c) = P(a,b)·P(b,c)·β with fresh values 0.75·~0.75·0.25.
+  EXPECT_NEAR(p_ac, 0.75 * router_.predictability(1, 2, 1.0) * 0.25, 1e-6);
+  // And direct contact dominates the transitive estimate.
+  EXPECT_GT(router_.predictability(1, 2, 1.0), p_ac);
+}
+
+TEST_F(ProphetTest, ForwardsOnlyTowardBetterRelay) {
+  Node a = make_node(0), b = make_node(1), dest = make_node(5);
+  a.buffer().try_insert(msg(1, 0, 5));
+
+  // Neither has met node 5: no replication.
+  router_.on_link_up(a, b, 0.0);
+  EXPECT_FALSE(router_.next_to_send(a, b, ctx(a, 0.0)).has_value());
+
+  // b meets the destination: now b is the better relay.
+  router_.on_link_up(b, dest, 5.0);
+  const auto next = router_.next_to_send(a, b, ctx(a, 6.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 1u);
+
+  // The reverse direction must not pull the message back.
+  b.buffer().try_insert(msg(1, 0, 5));
+  a.buffer().take(1);
+  EXPECT_FALSE(router_.next_to_send(b, a, ctx(b, 7.0)).has_value());
+}
+
+TEST_F(ProphetTest, DeliverableAlwaysSent) {
+  Node a = make_node(0), dest = make_node(5);
+  a.buffer().try_insert(msg(1, 0, 5));
+  const auto next = router_.next_to_send(a, dest, ctx(a, 0.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 1u);
+}
+
+TEST_F(ProphetTest, RelayCopySemantics) {
+  Message copy = msg(1, 0, 5);
+  copy.hops = 2;
+  const Message relay = router_.make_relay_copy(copy, 9.0);
+  EXPECT_EQ(relay.hops, 3);
+  EXPECT_DOUBLE_EQ(relay.received, 9.0);
+  EXPECT_TRUE(router_.on_sent(copy, false, 9.0));  // sender keeps a copy
+  EXPECT_EQ(copy.forwards, 1);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,118 @@
+// Tests for report builders and the sweep runner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/report/reports.hpp"
+#include "src/report/sweep.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+namespace {
+
+SimStats sample_stats() {
+  SimStats s;
+  s.created = 100;
+  s.delivered = 40;
+  s.transfers_started = 900;
+  s.transfers_completed = 840;
+  s.drops = 300;
+  for (int i = 0; i < 40; ++i) {
+    s.hopcounts.add(2.0 + i % 3);
+    s.latency.add(100.0 * (i + 1));
+  }
+  return s;
+}
+
+TEST(SimStatsMetrics, Definitions) {
+  const SimStats s = sample_stats();
+  EXPECT_DOUBLE_EQ(s.delivery_ratio(), 0.4);
+  EXPECT_DOUBLE_EQ(s.overhead_ratio(), (840.0 - 40.0) / 40.0);
+  EXPECT_NEAR(s.avg_hopcount(), 3.0, 0.1);
+  EXPECT_DOUBLE_EQ(s.avg_latency(), 2050.0);
+}
+
+TEST(SimStatsMetrics, ZeroGuards) {
+  const SimStats empty;
+  EXPECT_DOUBLE_EQ(empty.delivery_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.overhead_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.avg_hopcount(), 0.0);
+}
+
+TEST(MessageStatsTable, ContainsAllCounters) {
+  const Table t = message_stats_table("demo", sample_stats());
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string csv = os.str();
+  for (const char* key :
+       {"delivery_ratio", "avg_hopcount", "overhead_ratio", "created",
+        "delivered", "drops", "ttl_expired"}) {
+    EXPECT_NE(csv.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(csv.find("demo"), std::string::npos);
+}
+
+TEST(ComparisonTable, OneRowPerPolicy) {
+  const Table t = comparison_table({"a", "b"},
+                                   {sample_stats(), sample_stats()});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_THROW(comparison_table({"a"}, {}), PreconditionError);
+}
+
+TEST(IntermeetingReportBuilder, FitsExponentialData) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.exponential(0.001));
+  const auto rep = intermeeting_report(samples, 20);
+  EXPECT_EQ(rep.table.rows(), 20u);
+  EXPECT_NEAR(rep.fit.mean, 1000.0, 30.0);
+  EXPECT_GT(rep.fit.r_squared, 0.97);
+  EXPECT_EQ(rep.histogram.total(), samples.size());
+}
+
+TEST(IntermeetingReportBuilder, RejectsEmpty) {
+  EXPECT_THROW(intermeeting_report({}), PreconditionError);
+}
+
+TEST(SweepRunner, ReplicasVarySeedOnly) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 15;
+  sc.world.duration = 1500.0;
+  sc.rwp.area = Rect::sized(800.0, 600.0);
+  sc.traffic.ttl = 1000.0;
+  const auto reps = run_replicated(sc, 3);
+  EXPECT_EQ(reps.delivery_ratio.count(), 3u);
+  // Distinct seeds should (essentially always) produce variance.
+  EXPECT_GT(reps.delivery_ratio.stddev() + reps.overhead_ratio.stddev(),
+            0.0);
+  // And the same call again must aggregate to identical numbers.
+  const auto again = run_replicated(sc, 3);
+  EXPECT_DOUBLE_EQ(reps.delivery_ratio.mean(), again.delivery_ratio.mean());
+}
+
+TEST(SweepRunner, StatsOutParameterFilled) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 12;
+  sc.world.duration = 1200.0;
+  sc.rwp.area = Rect::sized(700.0, 500.0);
+  SimStats raw;
+  const MetricPoint p = run_scenario(sc, &raw);
+  EXPECT_EQ(raw.delivery_ratio(), p.delivery_ratio);
+  EXPECT_GT(raw.created, 0u);
+}
+
+TEST(SweepRunner, LatencyQuantilesOrdered) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 20;
+  sc.world.duration = 3000.0;
+  sc.rwp.area = Rect::sized(900.0, 700.0);
+  sc.traffic.ttl = 2500.0;
+  const MetricPoint p = run_scenario(sc);
+  if (p.delivery_ratio > 0.0) {
+    EXPECT_GT(p.median_latency, 0.0);
+    EXPECT_GE(p.p95_latency, p.median_latency);
+  }
+}
+
+}  // namespace
+}  // namespace dtn

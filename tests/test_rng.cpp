@@ -1,0 +1,210 @@
+// Unit tests for the deterministic RNG stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/rng.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(SplitMix64, DeterministicKnownStream) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, JumpDecorrelates) {
+  Xoshiro256StarStar a(7), b(7);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(2);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 11.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 11.0);
+  }
+}
+
+TEST(Rng, UniformEmptyRangeThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 9));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntUnbiasedMean) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.uniform_int(0, 9));
+  EXPECT_NEAR(sum / n, 4.5, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(7);
+  const double lambda = 0.25;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.08);
+}
+
+TEST(Rng, ExponentialRequiresPositiveRate) {
+  Rng rng(8);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, ParetoHeavyTailExceedsExponential) {
+  // With alpha = 1.2 the Pareto should produce far more >10*xm outliers
+  // than an exponential of equal scale would.
+  Rng rng(10);
+  int outliers = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(1.0, 1.2) > 10.0) ++outliers;
+  }
+  EXPECT_GT(outliers, n / 100);  // ~ n * 10^-1.2 ≈ 6%
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(13);
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(14);
+  EXPECT_THROW(rng.weighted_index({}), PreconditionError);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), PreconditionError);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(99), b(99);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+
+  Rng c(99);
+  Rng f1 = c.fork(1);
+  // A different tag from the same parent state position gives a new stream.
+  Rng d(99);
+  Rng f2 = d.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+class RngDistributionBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngDistributionBounds, ExponentialAlwaysNonNegative) {
+  Rng rng(123);
+  const double lambda = GetParam();
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(rng.exponential(lambda), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngDistributionBounds,
+                         ::testing::Values(1e-4, 0.01, 1.0, 100.0));
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,113 @@
+// Unit tests for the ONE-style settings parser.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/util/error.hpp"
+#include "src/util/settings.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(Trim, Basics) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\r\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Split, CommaList) {
+  const auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Settings, ParseBasics) {
+  const auto s = Settings::parse(R"(
+    # a comment
+    World.nodes = 100
+    World.range = 100.5   # trailing comment
+    Router.name = spray-and-wait
+  )");
+  EXPECT_EQ(s.get_int("World.nodes"), 100);
+  EXPECT_DOUBLE_EQ(s.get_double("World.range"), 100.5);
+  EXPECT_EQ(s.get_string("Router.name"), "spray-and-wait");
+}
+
+TEST(Settings, LaterAssignmentWins) {
+  const auto s = Settings::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(s.get_int("k"), 2);
+}
+
+TEST(Settings, MissingKeyThrows) {
+  const Settings s;
+  EXPECT_THROW(s.get_string("nope"), PreconditionError);
+  EXPECT_FALSE(s.has("nope"));
+}
+
+TEST(Settings, MalformedLineThrows) {
+  EXPECT_THROW(Settings::parse("just some text\n"), PreconditionError);
+  EXPECT_THROW(Settings::parse("= value\n"), PreconditionError);
+}
+
+TEST(Settings, NumericValidation) {
+  const auto s = Settings::parse("a = 12x\nb = 3.5\nc = 7\n");
+  EXPECT_THROW(s.get_double("a"), PreconditionError);
+  EXPECT_THROW(s.get_int("a"), PreconditionError);
+  EXPECT_DOUBLE_EQ(s.get_double("b"), 3.5);
+  EXPECT_EQ(s.get_int("c"), 7);
+}
+
+TEST(Settings, Booleans) {
+  const auto s =
+      Settings::parse("t1 = true\nt2 = YES\nt3 = 1\nf1 = off\nbad = maybe\n");
+  EXPECT_TRUE(s.get_bool("t1"));
+  EXPECT_TRUE(s.get_bool("t2"));
+  EXPECT_TRUE(s.get_bool("t3"));
+  EXPECT_FALSE(s.get_bool("f1"));
+  EXPECT_THROW(s.get_bool("bad"), PreconditionError);
+}
+
+TEST(Settings, Defaults) {
+  const Settings s;
+  EXPECT_EQ(s.get_string_or("k", "d"), "d");
+  EXPECT_DOUBLE_EQ(s.get_double_or("k", 2.5), 2.5);
+  EXPECT_EQ(s.get_int_or("k", 9), 9);
+  EXPECT_TRUE(s.get_bool_or("k", true));
+}
+
+TEST(Settings, DoubleList) {
+  const auto s = Settings::parse("sweep = 2, 2.5, 3\n");
+  const auto v = s.get_double_list("sweep");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(Settings, LoadFromFile) {
+  const std::string path = "/tmp/dtn_settings_test.txt";
+  {
+    std::ofstream f(path);
+    f << "# comment\nWorld.nodes = 7\n";
+  }
+  const Settings s = Settings::load(path);
+  EXPECT_EQ(s.get_int("World.nodes"), 7);
+  EXPECT_THROW(Settings::load("/nonexistent/settings.txt"),
+               PreconditionError);
+}
+
+TEST(Settings, RoundTripThroughText) {
+  Settings s;
+  s.set("b.key", "2");
+  s.set("a.key", "hello world");
+  const Settings s2 = Settings::parse(s.to_text());
+  EXPECT_EQ(s2.get_string("a.key"), "hello world");
+  EXPECT_EQ(s2.get_int("b.key"), 2);
+  EXPECT_EQ(s2.keys().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,108 @@
+// Unit tests for streaming statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  EXPECT_NEAR(large.ci95_half_width(), 1.96 / std::sqrt(10000.0), 0.005);
+}
+
+TEST(Summarize, CopiesAllFields) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  const StatSummary sum = summarize(s);
+  EXPECT_EQ(sum.count, 3u);
+  EXPECT_DOUBLE_EQ(sum.mean, 2.0);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 3.0);
+  EXPECT_DOUBLE_EQ(sum.stddev, 1.0);
+}
+
+TEST(Quantile, BasicPercentiles) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.5);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), PreconditionError);
+  EXPECT_THROW(quantile({1.0}, 1.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,83 @@
+// Unit tests for the result-table formatter.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/table.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), PreconditionError);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), static_cast<std::int64_t>(7)});
+  t.set_precision(1);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,value\nalpha,1.5\nbeta,7\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"text"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "text\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"x", "longcolumn"});
+  t.add_row({static_cast<std::int64_t>(1), std::string("v")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| x "), std::string::npos);
+  EXPECT_NE(out.find("longcolumn"), std::string::npos);
+  // Border lines present.
+  EXPECT_NE(out.find("+---"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"v"});
+  t.add_row({3.14159});
+  t.set_precision(2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.14\n");
+  EXPECT_THROW(t.set_precision(-1), PreconditionError);
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"a"});
+  t.add_row({std::string("x")});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(std::get<std::string>(t.row(0)[0]), "x");
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.add_row({std::string("a"), 1.0});
+  const std::string path = "/tmp/dtn_table_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,65 @@
+// Unit tests for the sweep thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/thread_pool.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelForIndex, CoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(500, 0);
+  parallel_for_index(pool, hits.size(),
+                     [&hits](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 500);
+}
+
+TEST(ParallelForIndex, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_index(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForIndex, RethrowsTaskError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for_index(pool, 10,
+                                  [](std::size_t i) {
+                                    if (i == 5) throw std::runtime_error("x");
+                                  }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dtn

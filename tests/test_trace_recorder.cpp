@@ -1,0 +1,99 @@
+// Tests for the movement-trace recorder: record -> serialize -> parse ->
+// replay round-trips positions exactly at the sample instants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/buffer/fifo.hpp"
+#include "src/config/scenario.hpp"
+#include "src/mobility/trace_replay.hpp"
+#include "src/report/trace_recorder.hpp"
+#include "src/routing/spray_and_wait.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(TraceRecorder, SamplesAtInterval) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 5;
+  sc.world.duration = 100.0;
+  sc.rwp.area = Rect::sized(500.0, 500.0);
+  auto world = build_world(sc);
+  TraceRecorder rec(10.0);
+  world->add_observer(&rec);
+  world->run();
+  ASSERT_EQ(rec.trace().node_count(), 5u);
+  // ~ one sample per 10 s over 100 s.
+  const auto& nt = rec.trace().nodes.at(0);
+  EXPECT_GE(nt.times.size(), 9u);
+  EXPECT_LE(nt.times.size(), 11u);
+  for (std::size_t i = 1; i < nt.times.size(); ++i) {
+    EXPECT_NEAR(nt.times[i] - nt.times[i - 1], 10.0, 1.0 + 1e-9);
+  }
+}
+
+TEST(TraceRecorder, TextRoundTripsThroughParser) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 4;
+  sc.world.duration = 60.0;
+  sc.rwp.area = Rect::sized(400.0, 300.0);
+  auto world = build_world(sc);
+  TraceRecorder rec(5.0);
+  world->add_observer(&rec);
+  world->run();
+
+  const TraceSet parsed = TraceSet::parse(rec.to_text());
+  ASSERT_EQ(parsed.node_count(), 4u);
+  for (const auto& [id, original] : rec.trace().nodes) {
+    const NodeTrace& back = parsed.nodes.at(id);
+    ASSERT_EQ(back.times.size(), original.times.size());
+    for (std::size_t k = 0; k < back.times.size(); ++k) {
+      EXPECT_NEAR(back.times[k], original.times[k], 1e-6);
+      EXPECT_NEAR(back.points[k].x, original.points[k].x, 1e-3);
+      EXPECT_NEAR(back.points[k].y, original.points[k].y, 1e-3);
+    }
+  }
+}
+
+TEST(TraceRecorder, RecordedTraceReplaysPositionsAtSampleInstants) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 3;
+  sc.world.duration = 50.0;
+  sc.rwp.area = Rect::sized(300.0, 300.0);
+  auto world = build_world(sc);
+  TraceRecorder rec(5.0);
+  world->add_observer(&rec);
+  world->run();
+
+  const NodeTrace& nt = rec.trace().nodes.at(1);
+  TraceReplayModel replay(nt);
+  double now = 0.0;
+  for (std::size_t k = 0; k < nt.times.size(); ++k) {
+    replay.advance(nt.times[k] - now);
+    now = nt.times[k];
+    EXPECT_NEAR(replay.position().x, nt.points[k].x, 1e-9);
+    EXPECT_NEAR(replay.position().y, nt.points[k].y, 1e-9);
+  }
+}
+
+TEST(TraceRecorder, SaveWritesFile) {
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.n_nodes = 2;
+  sc.world.duration = 20.0;
+  sc.rwp.area = Rect::sized(200.0, 200.0);
+  auto world = build_world(sc);
+  TraceRecorder rec(5.0);
+  world->add_observer(&rec);
+  world->run();
+  const std::string path = "/tmp/dtn_trace_test.txt";
+  ASSERT_TRUE(rec.save(path));
+  const TraceSet loaded = TraceSet::load(path);
+  EXPECT_EQ(loaded.node_count(), 2u);
+}
+
+TEST(TraceRecorder, RejectsBadInterval) {
+  EXPECT_THROW(TraceRecorder(0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dtn
