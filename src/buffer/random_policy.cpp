@@ -1,5 +1,6 @@
 #include "src/buffer/random_policy.hpp"
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -19,6 +20,18 @@ const Message* RandomPolicy::choose_drop(
       rng_.uniform_int(0, static_cast<std::int64_t>(total) - 1));
   if (pick < droppable.size()) return droppable[pick];
   return newcomer;
+}
+
+void RandomPolicy::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("random-policy");
+  snapshot::write_rng(out, rng_);
+  out.end_section();
+}
+
+void RandomPolicy::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("random-policy");
+  snapshot::read_rng(in, rng_);
+  in.end_section();
 }
 
 }  // namespace dtn

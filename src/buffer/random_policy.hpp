@@ -21,6 +21,9 @@ class RandomPolicy final : public BufferPolicy {
                              const Message* newcomer,
                              const PolicyContext& ctx) const override;
 
+  void save_state(snapshot::ArchiveWriter& out) const override;
+  void load_state(snapshot::ArchiveReader& in) override;
+
  private:
   // The policy object is shared across nodes of one single-threaded World;
   // the stream is part of the simulation's seeded determinism.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -47,6 +48,67 @@ Message Buffer::take(MessageId id) {
   messages_.erase(it);
   used_ -= out.size;
   return out;
+}
+
+void save_message(snapshot::ArchiveWriter& out, const Message& m) {
+  out.u64(m.id);
+  out.u32(m.source);
+  out.u32(m.destination);
+  out.i64(m.size);
+  out.f64(m.created);
+  out.f64(m.ttl);
+  out.i64(m.initial_copies);
+  out.i64(m.copies);
+  out.i64(m.hops);
+  out.i64(m.forwards);
+  out.f64(m.received);
+  out.u64(m.spray_times.size());
+  for (SimTime t : m.spray_times) out.f64(t);
+}
+
+Message load_message(snapshot::ArchiveReader& in) {
+  Message m;
+  m.id = in.u64();
+  m.source = in.u32();
+  m.destination = in.u32();
+  m.size = in.i64();
+  m.created = in.f64();
+  m.ttl = in.f64();
+  m.initial_copies = static_cast<int>(in.i64());
+  m.copies = static_cast<int>(in.i64());
+  m.hops = static_cast<int>(in.i64());
+  m.forwards = static_cast<int>(in.i64());
+  m.received = in.f64();
+  const std::uint64_t n_spray = in.u64();
+  m.spray_times.reserve(n_spray);
+  for (std::uint64_t i = 0; i < n_spray; ++i) m.spray_times.push_back(in.f64());
+  return m;
+}
+
+void Buffer::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("buffer");
+  out.i64(capacity_);
+  out.u64(messages_.size());
+  for (const Message& m : messages_) save_message(out, m);
+  out.end_section();
+}
+
+void Buffer::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("buffer");
+  const std::int64_t capacity = in.i64();
+  DTN_REQUIRE(capacity == capacity_,
+              "buffer: snapshot capacity does not match this world");
+  messages_.clear();
+  used_ = 0;
+  const std::uint64_t n = in.u64();
+  messages_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Message m = load_message(in);
+    used_ += m.size;
+    messages_.push_back(std::move(m));
+  }
+  DTN_REQUIRE(used_ <= capacity_, "buffer: snapshot overflows capacity");
+  in.end_section();
 }
 
 std::vector<Message> Buffer::purge_expired(

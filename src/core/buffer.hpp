@@ -12,6 +12,15 @@
 
 namespace dtn {
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
+/// Serializes one Message (all fields, including the spray-time lineage).
+void save_message(snapshot::ArchiveWriter& out, const Message& m);
+Message load_message(snapshot::ArchiveReader& in);
+
 class Buffer {
  public:
   explicit Buffer(std::int64_t capacity_bytes);
@@ -44,6 +53,11 @@ class Buffer {
   /// Messages in arrival order.
   const std::vector<Message>& messages() const { return messages_; }
   std::vector<Message>& messages() { return messages_; }
+
+  /// Snapshot/restore: arrival order is preserved bit-for-bit (FIFO
+  /// policies depend on it); capacity is verified, not overwritten.
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 
  private:
   std::int64_t capacity_;

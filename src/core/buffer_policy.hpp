@@ -17,6 +17,11 @@ namespace dtn {
 class Node;
 class GlobalRegistry;
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 /// Read-only context handed to policies and routers.
 struct PolicyContext {
   SimTime now = 0.0;
@@ -59,6 +64,11 @@ class BufferPolicy {
   virtual bool rejects_previously_dropped() const {
     return uses_dropped_list();
   }
+
+  /// Snapshot/restore of policy-owned state. Stateless policies (the
+  /// default) write and read nothing.
+  virtual void save_state(snapshot::ArchiveWriter& out) const { (void)out; }
+  virtual void load_state(snapshot::ArchiveReader& in) { (void)in; }
 };
 
 /// Helper base for policies expressible as one scalar priority per message:

@@ -1,5 +1,6 @@
 #include "src/core/message_generator.hpp"
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -36,6 +37,22 @@ Message MessageGenerator::make_message(SimTime t) {
   m.hops = 0;
   m.received = t;
   return m;
+}
+
+void MessageGenerator::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("traffic");
+  snapshot::write_rng(out, rng_);
+  out.f64(next_time_);
+  out.u64(next_id_);
+  out.end_section();
+}
+
+void MessageGenerator::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("traffic");
+  snapshot::read_rng(in, rng_);
+  next_time_ = in.f64();
+  next_id_ = in.u64();
+  in.end_section();
 }
 
 std::vector<Message> MessageGenerator::poll(SimTime now) {

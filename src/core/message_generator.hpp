@@ -12,6 +12,11 @@
 
 namespace dtn {
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 struct MessageGenConfig {
   double interval_min = 25.0;  ///< s between creations (lower bound)
   double interval_max = 35.0;  ///< s between creations (upper bound)
@@ -36,6 +41,11 @@ class MessageGenerator {
   SimTime next_due() const { return next_time_; }
 
   MessageId next_id() const { return next_id_; }
+
+  /// Snapshot/restore of the traffic schedule (rng stream, next creation
+  /// time and next message id); the config is verified-by-construction.
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 
  private:
   Message make_message(SimTime t);

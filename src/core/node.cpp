@@ -1,8 +1,10 @@
 #include "src/core/node.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/core/router.hpp"
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -77,6 +79,58 @@ Node::AdmitResult Node::admit(Message incoming, const PolicyContext& ctx,
   DTN_REQUIRE(ok, "admission plan did not free enough space");
   result.admitted = true;
   return result;
+}
+
+namespace {
+
+void write_sorted_id_set(snapshot::ArchiveWriter& out,
+                         const std::unordered_set<MessageId>& s) {
+  std::vector<MessageId> ids(s.begin(), s.end());
+  std::sort(ids.begin(), ids.end());
+  out.u64(ids.size());
+  for (MessageId id : ids) out.u64(id);
+}
+
+void read_id_set(snapshot::ArchiveReader& in,
+                 std::unordered_set<MessageId>& s) {
+  s.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) s.insert(in.u64());
+}
+
+}  // namespace
+
+void Node::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("node");
+  out.u32(id_);
+  mobility_->save_state(out);
+  buffer_.save_state(out);
+  imt_.save_state(out);
+  dropped_.save_state(out);
+  write_sorted_id_set(out, delivered_);
+  write_sorted_id_set(out, known_delivered_);
+  out.u64(pinned_.size());
+  for (MessageId id : pinned_) out.u64(id);  // pin order is kernel state
+  out.boolean(radio_busy_);
+  out.end_section();
+}
+
+void Node::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("node");
+  const NodeId id = in.u32();
+  DTN_REQUIRE(id == id_, "node: snapshot id does not match this node");
+  mobility_->load_state(in);
+  buffer_.load_state(in);
+  imt_.load_state(in);
+  dropped_.load_state(in);
+  read_id_set(in, delivered_);
+  read_id_set(in, known_delivered_);
+  pinned_.clear();
+  const std::uint64_t n_pinned = in.u64();
+  pinned_.reserve(n_pinned);
+  for (std::uint64_t i = 0; i < n_pinned; ++i) pinned_.push_back(in.u64());
+  radio_busy_ = in.boolean();
+  in.end_section();
 }
 
 }  // namespace dtn

@@ -91,6 +91,11 @@ class Node {
   AdmitResult admit(Message incoming, const PolicyContext& ctx,
                     const Message* newcomer_view = nullptr);
 
+  /// Snapshot/restore of everything node-local: mobility, buffer, SDSRP
+  /// estimators, delivery bookkeeping, pin list and radio state.
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
+
  private:
   /// Shared victim-selection loop; `victims` receives resident victims in
   /// eviction order. Returns true if `incoming` would be admitted.

@@ -1,5 +1,9 @@
 #include "src/core/oracle.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -46,6 +50,59 @@ double GlobalRegistry::n_holding(MessageId id) const {
 double GlobalRegistry::drops(MessageId id) const {
   const Entry* e = entry(id);
   return e ? static_cast<double>(e->drops) : 0.0;
+}
+
+namespace {
+
+void write_sorted_node_set(snapshot::ArchiveWriter& out,
+                           const std::unordered_set<NodeId>& s) {
+  std::vector<NodeId> ids(s.begin(), s.end());
+  std::sort(ids.begin(), ids.end());
+  out.u64(ids.size());
+  for (NodeId id : ids) out.u32(id);
+}
+
+void read_node_set(snapshot::ArchiveReader& in,
+                   std::unordered_set<NodeId>& s) {
+  s.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) s.insert(in.u32());
+}
+
+}  // namespace
+
+void GlobalRegistry::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("registry");
+  std::vector<MessageId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  out.u64(ids.size());
+  for (MessageId id : ids) {
+    const Entry& e = entries_.at(id);
+    out.u64(id);
+    out.u32(e.source);
+    write_sorted_node_set(out, e.seen);
+    write_sorted_node_set(out, e.holders);
+    out.i64(e.drops);
+  }
+  out.end_section();
+}
+
+void GlobalRegistry::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("registry");
+  entries_.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const MessageId id = in.u64();
+    Entry e;
+    e.source = in.u32();
+    read_node_set(in, e.seen);
+    read_node_set(in, e.holders);
+    e.drops = static_cast<int>(in.i64());
+    entries_.emplace(id, std::move(e));
+  }
+  in.end_section();
 }
 
 }  // namespace dtn

@@ -17,6 +17,11 @@
 
 namespace dtn {
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 class GlobalRegistry {
  public:
   void on_created(MessageId id, NodeId source);
@@ -36,6 +41,10 @@ class GlobalRegistry {
   double drops(MessageId id) const;
 
   bool known(MessageId id) const { return entries_.count(id) > 0; }
+
+  /// Snapshot/restore of all per-message ground-truth entries.
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 
  private:
   struct Entry {

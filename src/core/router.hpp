@@ -14,6 +14,11 @@ namespace dtn {
 
 class Node;
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 class Router {
  public:
   virtual ~Router() = default;
@@ -53,6 +58,11 @@ class Router {
     (void)b;
     (void)now;
   }
+
+  /// Snapshot/restore of router-owned state. Stateless routers (the
+  /// default) write and read nothing.
+  virtual void save_state(snapshot::ArchiveWriter& out) const { (void)out; }
+  virtual void load_state(snapshot::ArchiveReader& in) { (void)in; }
 };
 
 }  // namespace dtn

@@ -1,3 +1,45 @@
-// SimStats is header-only today; this TU anchors the target and keeps a
-// single definition point if out-of-line members are added later.
 #include "src/core/sim_stats.hpp"
+
+#include "src/snapshot/archive.hpp"
+
+namespace dtn {
+
+void SimStats::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("stats");
+  out.u64(created);
+  out.u64(delivered);
+  out.u64(transfers_started);
+  out.u64(transfers_completed);
+  out.u64(transfers_aborted);
+  out.u64(admission_rejected);
+  out.u64(duplicates);
+  out.u64(drops);
+  out.u64(ttl_expired);
+  out.u64(source_rejected);
+  out.u64(ack_purged);
+  snapshot::write_running_stats(out, hopcounts);
+  snapshot::write_running_stats(out, latency);
+  snapshot::write_running_stats(out, buffer_occupancy);
+  out.end_section();
+}
+
+void SimStats::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("stats");
+  created = static_cast<std::size_t>(in.u64());
+  delivered = static_cast<std::size_t>(in.u64());
+  transfers_started = static_cast<std::size_t>(in.u64());
+  transfers_completed = static_cast<std::size_t>(in.u64());
+  transfers_aborted = static_cast<std::size_t>(in.u64());
+  admission_rejected = static_cast<std::size_t>(in.u64());
+  duplicates = static_cast<std::size_t>(in.u64());
+  drops = static_cast<std::size_t>(in.u64());
+  ttl_expired = static_cast<std::size_t>(in.u64());
+  source_rejected = static_cast<std::size_t>(in.u64());
+  ack_purged = static_cast<std::size_t>(in.u64());
+  snapshot::read_running_stats(in, hopcounts);
+  snapshot::read_running_stats(in, latency);
+  snapshot::read_running_stats(in, buffer_occupancy);
+  in.end_section();
+}
+
+}  // namespace dtn

@@ -8,6 +8,11 @@
 
 namespace dtn {
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 struct SimStats {
   std::size_t created = 0;              ///< messages generated
   std::size_t delivered = 0;            ///< first-time destination arrivals
@@ -46,6 +51,10 @@ struct SimStats {
 
   /// Mean end-to-end delay of successful deliveries.
   double avg_latency() const { return latency.mean(); }
+
+  /// Snapshot/restore of every counter and accumulator.
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 };
 
 }  // namespace dtn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -366,6 +367,118 @@ void World::sample_occupancy() {
   double total = 0.0;
   for (const auto& n : nodes_) total += n->buffer().occupancy();
   stats_.buffer_occupancy.add(total / static_cast<double>(nodes_.size()));
+}
+
+namespace {
+
+void write_pair_time_map(snapshot::ArchiveWriter& out,
+                         const std::map<NodePair, double>& m) {
+  out.u64(m.size());
+  for (const auto& [p, t] : m) {  // std::map iterates sorted
+    out.u64(p.first);
+    out.u64(p.second);
+    out.f64(t);
+  }
+}
+
+void read_pair_time_map(snapshot::ArchiveReader& in,
+                        std::map<NodePair, double>& m) {
+  m.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto a = static_cast<std::size_t>(in.u64());
+    const auto b = static_cast<std::size_t>(in.u64());
+    m[NodePair{a, b}] = in.f64();
+  }
+}
+
+void write_sample_vec(snapshot::ArchiveWriter& out,
+                      const std::vector<double>& v) {
+  out.u64(v.size());
+  for (double s : v) out.f64(s);
+}
+
+void read_sample_vec(snapshot::ArchiveReader& in, std::vector<double>& v) {
+  v.clear();
+  const std::uint64_t n = in.u64();
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(in.f64());
+}
+
+}  // namespace
+
+void World::save_state(snapshot::ArchiveWriter& out) const {
+  DTN_REQUIRE(router_ != nullptr && policy_ != nullptr,
+              "save_state: world not fully constructed");
+  out.begin_section("world");
+  out.f64(now_);
+  out.f64(next_occupancy_sample_);
+  out.u64(nodes_.size());
+  for (const auto& n : nodes_) n->save_state(out);
+  tracker_.save_state(out);
+  out.u64(transfers_.size());
+  for (const Transfer& t : transfers_) {
+    out.u32(t.from);
+    out.u32(t.to);
+    out.u64(t.msg);
+    out.f64(t.started);
+    out.f64(t.eta);
+  }
+  out.boolean(gen_ != nullptr);
+  if (gen_ != nullptr) gen_->save_state(out);
+  registry_.save_state(out);
+  stats_.save_state(out);
+  router_->save_state(out);
+  policy_->save_state(out);
+  write_pair_time_map(out, pair_last_end_);
+  write_pair_time_map(out, pair_up_since_);
+  write_sample_vec(out, imt_samples_);
+  write_sample_vec(out, contact_samples_);
+  out.end_section();
+}
+
+void World::load_state(snapshot::ArchiveReader& in) {
+  DTN_REQUIRE(router_ != nullptr && policy_ != nullptr,
+              "load_state: world not fully constructed");
+  in.begin_section("world");
+  now_ = in.f64();
+  next_occupancy_sample_ = in.f64();
+  const std::uint64_t n_nodes = in.u64();
+  DTN_REQUIRE(n_nodes == nodes_.size(),
+              "load_state: node count does not match this world");
+  for (auto& n : nodes_) n->load_state(in);
+  tracker_.load_state(in);
+  transfers_.clear();
+  const std::uint64_t n_transfers = in.u64();
+  transfers_.reserve(n_transfers);
+  for (std::uint64_t i = 0; i < n_transfers; ++i) {
+    Transfer t;
+    t.from = in.u32();
+    t.to = in.u32();
+    t.msg = in.u64();
+    t.started = in.f64();
+    t.eta = in.f64();
+    transfers_.push_back(t);
+  }
+  const bool has_gen = in.boolean();
+  DTN_REQUIRE(has_gen == (gen_ != nullptr),
+              "load_state: traffic generator presence does not match");
+  if (gen_ != nullptr) gen_->load_state(in);
+  registry_.load_state(in);
+  stats_.load_state(in);
+  router_->load_state(in);
+  policy_->load_state(in);
+  read_pair_time_map(in, pair_last_end_);
+  read_pair_time_map(in, pair_up_since_);
+  read_sample_vec(in, imt_samples_);
+  read_sample_vec(in, contact_samples_);
+  in.end_section();
+}
+
+std::uint64_t World::digest() const {
+  snapshot::ArchiveWriter w(snapshot::ArchiveWriter::Mode::kDigestOnly);
+  save_state(w);
+  return w.digest();
 }
 
 }  // namespace dtn

@@ -102,6 +102,20 @@ class World {
   /// Context used for policy evaluation at `n`'s buffer.
   PolicyContext ctx_for(const Node& n) const;
 
+  // --- snapshot / digest ---
+  /// Serializes the complete dynamic state (time, nodes, contacts,
+  /// in-flight transfers, traffic schedule, registry, stats, router and
+  /// policy state). The structure — node count, capacities, router/policy
+  /// identity — is NOT serialized; restore into a world built from the
+  /// same configuration (see snapshot/checkpoint.hpp).
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
+
+  /// FNV-1a digest over the canonical serialized state. Two worlds with
+  /// equal digests are (up to hash collision) in identical states; a
+  /// deterministic run produces an identical digest trajectory every time.
+  std::uint64_t digest() const;
+
  private:
   void advance_mobility();
   void process_link_down(const NodePair& p);

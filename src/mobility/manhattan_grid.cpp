@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -84,6 +85,35 @@ void ManhattanGridModel::advance(double dt) {
     pause_left_ = rng_.uniform(cfg_.pause_min, cfg_.pause_max);
     choose_next_target();
   }
+}
+
+
+void ManhattanGridModel::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("manhattan");
+  snapshot::write_rng(out, rng_);
+  out.f64(pos_.x);
+  out.f64(pos_.y);
+  out.u64(tx_);
+  out.u64(ty_);
+  out.i64(dir_x_);
+  out.i64(dir_y_);
+  out.f64(speed_);
+  out.f64(pause_left_);
+  out.end_section();
+}
+
+void ManhattanGridModel::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("manhattan");
+  snapshot::read_rng(in, rng_);
+  pos_.x = in.f64();
+  pos_.y = in.f64();
+  tx_ = static_cast<std::size_t>(in.u64());
+  ty_ = static_cast<std::size_t>(in.u64());
+  dir_x_ = static_cast<int>(in.i64());
+  dir_y_ = static_cast<int>(in.i64());
+  speed_ = in.f64();
+  pause_left_ = in.f64();
+  in.end_section();
 }
 
 }  // namespace dtn

@@ -38,6 +38,9 @@ class ManhattanGridModel final : public MobilityModel {
   std::size_t target_ix() const { return tx_; }
   std::size_t target_iy() const { return ty_; }
 
+  void save_state(snapshot::ArchiveWriter& out) const override;
+  void load_state(snapshot::ArchiveReader& in) override;
+
  private:
   Vec2 intersection(std::size_t ix, std::size_t iy) const;
   void choose_next_target();

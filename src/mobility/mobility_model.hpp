@@ -11,6 +11,11 @@
 
 namespace dtn {
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
@@ -23,6 +28,13 @@ class MobilityModel {
 
   /// Human-readable model name (for reports).
   virtual const char* name() const = 0;
+
+  /// Snapshot hooks: serialize/restore the model's dynamic state (position,
+  /// trip target, RNG stream, ...). load_state assumes a model of the same
+  /// type and configuration — restore rebuilds the structure first and
+  /// replays state into it. Models without dynamic state keep the no-ops.
+  virtual void save_state(snapshot::ArchiveWriter& out) const { (void)out; }
+  virtual void load_state(snapshot::ArchiveReader& in) { (void)in; }
 };
 
 using MobilityPtr = std::unique_ptr<MobilityModel>;

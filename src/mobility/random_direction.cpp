@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -50,6 +51,33 @@ void RandomDirectionModel::advance(double dt) {
     pause_left_ = rng_.uniform(cfg_.pause_min, cfg_.pause_max);
     new_leg();
   }
+}
+
+
+void RandomDirectionModel::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("direction");
+  snapshot::write_rng(out, rng_);
+  out.f64(pos_.x);
+  out.f64(pos_.y);
+  out.f64(dir_.x);
+  out.f64(dir_.y);
+  out.f64(speed_);
+  out.f64(leg_left_);
+  out.f64(pause_left_);
+  out.end_section();
+}
+
+void RandomDirectionModel::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("direction");
+  snapshot::read_rng(in, rng_);
+  pos_.x = in.f64();
+  pos_.y = in.f64();
+  dir_.x = in.f64();
+  dir_.y = in.f64();
+  speed_ = in.f64();
+  leg_left_ = in.f64();
+  pause_left_ = in.f64();
+  in.end_section();
 }
 
 }  // namespace dtn

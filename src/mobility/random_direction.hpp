@@ -25,6 +25,9 @@ class RandomDirectionModel final : public MobilityModel {
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "random-direction"; }
 
+  void save_state(snapshot::ArchiveWriter& out) const override;
+  void load_state(snapshot::ArchiveReader& in) override;
+
  private:
   void new_leg();
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -42,6 +43,29 @@ void RandomWalkModel::advance(double dt) {
     dt -= step;
     if (epoch_left_ <= 0.0) new_epoch();
   }
+}
+
+
+void RandomWalkModel::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("walk");
+  snapshot::write_rng(out, rng_);
+  out.f64(pos_.x);
+  out.f64(pos_.y);
+  out.f64(velocity_.x);
+  out.f64(velocity_.y);
+  out.f64(epoch_left_);
+  out.end_section();
+}
+
+void RandomWalkModel::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("walk");
+  snapshot::read_rng(in, rng_);
+  pos_.x = in.f64();
+  pos_.y = in.f64();
+  velocity_.x = in.f64();
+  velocity_.y = in.f64();
+  epoch_left_ = in.f64();
+  in.end_section();
 }
 
 }  // namespace dtn

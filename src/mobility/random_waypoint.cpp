@@ -1,5 +1,6 @@
 #include "src/mobility/random_waypoint.hpp"
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -43,6 +44,31 @@ void RandomWaypointModel::advance(double dt) {
     pause_left_ = rng_.uniform(cfg_.pause_min, cfg_.pause_max);
     start_new_trip();
   }
+}
+
+
+void RandomWaypointModel::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("rwp");
+  snapshot::write_rng(out, rng_);
+  out.f64(pos_.x);
+  out.f64(pos_.y);
+  out.f64(dest_.x);
+  out.f64(dest_.y);
+  out.f64(speed_);
+  out.f64(pause_left_);
+  out.end_section();
+}
+
+void RandomWaypointModel::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("rwp");
+  snapshot::read_rng(in, rng_);
+  pos_.x = in.f64();
+  pos_.y = in.f64();
+  dest_.x = in.f64();
+  dest_.y = in.f64();
+  speed_ = in.f64();
+  pause_left_ = in.f64();
+  in.end_section();
 }
 
 }  // namespace dtn

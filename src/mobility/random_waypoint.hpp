@@ -26,6 +26,9 @@ class RandomWaypointModel final : public MobilityModel {
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "random-waypoint"; }
 
+  void save_state(snapshot::ArchiveWriter& out) const override;
+  void load_state(snapshot::ArchiveReader& in) override;
+
  private:
   void start_new_trip();
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "src/mobility/mobility_model.hpp"
+#include "src/snapshot/archive.hpp"
 
 namespace dtn {
 
@@ -16,6 +17,19 @@ class StationaryModel final : public MobilityModel {
 
   /// Teleports the node (tests use this to script contact sequences).
   void move_to(Vec2 p) { pos_ = p; }
+
+  void save_state(snapshot::ArchiveWriter& out) const override {
+    out.begin_section("stationary");
+    out.f64(pos_.x);
+    out.f64(pos_.y);
+    out.end_section();
+  }
+  void load_state(snapshot::ArchiveReader& in) override {
+    in.begin_section("stationary");
+    pos_.x = in.f64();
+    pos_.y = in.f64();
+    in.end_section();
+  }
 
  private:
   Vec2 pos_;

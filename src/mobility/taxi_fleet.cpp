@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -102,6 +103,33 @@ void TaxiFleetModel::advance(double dt) {
     pause_left_ =
         std::min(rng_.pareto(cfg_.pause_xm, cfg_.pause_alpha), cfg_.pause_cap);
   }
+}
+
+
+void TaxiFleetModel::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("taxi");
+  snapshot::write_rng(out, rng_);
+  out.u64(home_);
+  out.f64(pos_.x);
+  out.f64(pos_.y);
+  out.f64(dest_.x);
+  out.f64(dest_.y);
+  out.f64(speed_);
+  out.f64(pause_left_);
+  out.end_section();
+}
+
+void TaxiFleetModel::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("taxi");
+  snapshot::read_rng(in, rng_);
+  home_ = static_cast<std::size_t>(in.u64());
+  pos_.x = in.f64();
+  pos_.y = in.f64();
+  dest_.x = in.f64();
+  dest_.y = in.f64();
+  speed_ = in.f64();
+  pause_left_ = in.f64();
+  in.end_section();
 }
 
 }  // namespace dtn

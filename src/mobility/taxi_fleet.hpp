@@ -66,6 +66,9 @@ class TaxiFleetModel final : public MobilityModel {
 
   std::size_t home() const { return home_; }
 
+  void save_state(snapshot::ArchiveWriter& out) const override;
+  void load_state(snapshot::ArchiveReader& in) override;
+
  private:
   void start_new_trip();
   Vec2 sample_hotspot_point(std::size_t idx);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 #include "src/util/settings.hpp"
 
@@ -64,6 +65,23 @@ void TraceReplayModel::advance(double dt) {
   DTN_REQUIRE(dt >= 0.0, "advance: negative dt");
   now_ += dt;
   pos_ = trace_.at(now_);
+}
+
+
+void TraceReplayModel::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("trace-replay");
+  out.f64(now_);
+  out.f64(pos_.x);
+  out.f64(pos_.y);
+  out.end_section();
+}
+
+void TraceReplayModel::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("trace-replay");
+  now_ = in.f64();
+  pos_.x = in.f64();
+  pos_.y = in.f64();
+  in.end_section();
 }
 
 }  // namespace dtn

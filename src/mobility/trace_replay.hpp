@@ -50,6 +50,9 @@ class TraceReplayModel final : public MobilityModel {
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "trace-replay"; }
 
+  void save_state(snapshot::ArchiveWriter& out) const override;
+  void load_state(snapshot::ArchiveReader& in) override;
+
  private:
   NodeTrace trace_;
   double now_ = 0.0;

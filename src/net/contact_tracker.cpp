@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -24,6 +25,28 @@ ContactChurn ContactTracker::update(const std::vector<Vec2>& positions) {
                       next.end(), std::back_inserter(churn.went_down));
   current_ = std::move(next);
   return churn;
+}
+
+void ContactTracker::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("contacts");
+  out.u64(current_.size());
+  for (const NodePair& p : current_) {
+    out.u64(p.first);
+    out.u64(p.second);
+  }
+  out.end_section();
+}
+
+void ContactTracker::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("contacts");
+  current_.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto a = static_cast<std::size_t>(in.u64());
+    const auto b = static_cast<std::size_t>(in.u64());
+    current_.emplace(a, b);
+  }
+  in.end_section();
 }
 
 }  // namespace dtn

@@ -15,6 +15,11 @@
 
 namespace dtn {
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 /// Unordered node pair, stored normalized (first < second).
 using NodePair = std::pair<std::size_t, std::size_t>;
 
@@ -44,6 +49,11 @@ class ContactTracker {
   }
 
   double range() const { return range_; }
+
+  /// Snapshot/restore of the in-contact pair set. The spatial grid is
+  /// rebuilt from scratch on the next update(), so it carries no state.
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 
  private:
   double range_;

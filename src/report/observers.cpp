@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -42,6 +43,40 @@ double DeliveredMessagesReport::latency_quantile(double q) const {
   latencies.reserve(rows_.size());
   for (const Row& r : rows_) latencies.push_back(r.delivered_at - r.created);
   return quantile(std::move(latencies), q);
+}
+
+void DeliveredMessagesReport::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("delivered-report");
+  out.u64(rows_.size());
+  for (const Row& r : rows_) {
+    out.u64(r.id);
+    out.u32(r.source);
+    out.u32(r.destination);
+    out.u32(r.last_hop);
+    out.f64(r.created);
+    out.f64(r.delivered_at);
+    out.i64(r.hops);
+  }
+  out.end_section();
+}
+
+void DeliveredMessagesReport::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("delivered-report");
+  rows_.clear();
+  const std::uint64_t n = in.u64();
+  rows_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Row r;
+    r.id = in.u64();
+    r.source = in.u32();
+    r.destination = in.u32();
+    r.last_hop = in.u32();
+    r.created = in.f64();
+    r.delivered_at = in.f64();
+    r.hops = static_cast<int>(in.i64());
+    rows_.push_back(r);
+  }
+  in.end_section();
 }
 
 // --- ContactReport ---

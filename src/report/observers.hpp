@@ -18,6 +18,11 @@
 
 namespace dtn {
 
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
+
 /// One row per successful first delivery (ONE: DeliveredMessagesReport).
 class DeliveredMessagesReport final : public WorldObserver {
  public:
@@ -39,6 +44,12 @@ class DeliveredMessagesReport final : public WorldObserver {
   Table to_table() const;
   /// Latency quantile over all deliveries (q in [0,1]).
   double latency_quantile(double q) const;
+
+  /// Snapshot/restore of the collected rows, so a resumed run reports the
+  /// same latency quantiles as an uninterrupted one (checkpoint "extra"
+  /// payload — observers live outside World::save_state).
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 
  private:
   std::vector<Row> rows_;

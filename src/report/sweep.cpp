@@ -1,6 +1,12 @@
 #include "src/report/sweep.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
 #include "src/report/observers.hpp"
+#include "src/snapshot/checkpoint.hpp"
 
 namespace dtn {
 
@@ -27,57 +33,178 @@ MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out) {
   return p;
 }
 
+namespace {
+
+/// File-name stem for one run: dir/<label><name>_seed<seed>.
+std::string run_stem(const CheckpointOptions& ckpt, const Scenario& sc,
+                     const std::string& label) {
+  std::ostringstream os;
+  os << ckpt.dir << '/' << label << sc.name << "_seed" << sc.seed;
+  return os.str();
+}
+
+/// The .done marker is itself a framed archive: the final MetricPoint and
+/// SimStats, so a skipped replica still reports full results.
+void write_done_marker(const std::string& path, const MetricPoint& p,
+                       const SimStats& stats) {
+  snapshot::ArchiveWriter w;
+  w.begin_section("result");
+  w.f64(p.delivery_ratio);
+  w.f64(p.avg_hopcount);
+  w.f64(p.overhead_ratio);
+  w.f64(p.avg_latency);
+  w.f64(p.median_latency);
+  w.f64(p.p95_latency);
+  stats.save_state(w);
+  w.end_section();
+  snapshot::write_archive_file(path, w);
+}
+
+MetricPoint read_done_marker(const std::string& path, SimStats* stats_out) {
+  snapshot::ArchiveReader r = snapshot::read_archive_file(path);
+  r.begin_section("result");
+  MetricPoint p;
+  p.delivery_ratio = r.f64();
+  p.avg_hopcount = r.f64();
+  p.overhead_ratio = r.f64();
+  p.avg_latency = r.f64();
+  p.median_latency = r.f64();
+  p.p95_latency = r.f64();
+  SimStats stats;
+  stats.load_state(r);
+  r.end_section();
+  if (stats_out != nullptr) *stats_out = stats;
+  return p;
+}
+
+}  // namespace
+
+MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out,
+                         const CheckpointOptions& ckpt,
+                         const std::string& label) {
+  if (!ckpt.enabled()) return run_scenario(sc, stats_out);
+
+  std::filesystem::create_directories(ckpt.dir);
+  const std::string stem = run_stem(ckpt, sc, label);
+  const std::string ckpt_path = stem + ".ckpt";
+  const std::string done_path = stem + ".done";
+
+  if (std::filesystem::exists(done_path)) {
+    return read_done_marker(done_path, stats_out);
+  }
+
+  DeliveredMessagesReport delivered;
+  std::unique_ptr<World> world;
+  if (std::filesystem::exists(ckpt_path)) {
+    auto restored = snapshot::restore_checkpoint(
+        ckpt_path,
+        [&delivered](snapshot::ArchiveReader& in) { delivered.load_state(in); });
+    world = std::move(restored.world);
+  } else {
+    world = build_world(sc);
+  }
+  world->add_observer(&delivered);
+
+  const double duration = sc.world.duration;
+  while (world->now() + sc.world.step <= duration + 1e-9) {
+    const double target =
+        std::min(duration, world->now() + ckpt.interval_s);
+    world->run_until(target);
+    if (world->now() + sc.world.step <= duration + 1e-9) {
+      snapshot::save_checkpoint(
+          ckpt_path, sc, *world,
+          [&delivered](snapshot::ArchiveWriter& out) {
+            delivered.save_state(out);
+          });
+    }
+  }
+
+  const SimStats& s = world->stats();
+  if (stats_out != nullptr) *stats_out = s;
+  MetricPoint p;
+  p.delivery_ratio = s.delivery_ratio();
+  p.avg_hopcount = s.avg_hopcount();
+  p.overhead_ratio = s.overhead_ratio();
+  p.avg_latency = s.avg_latency();
+  if (!delivered.rows().empty()) {
+    p.median_latency = delivered.latency_quantile(0.5);
+    p.p95_latency = delivered.latency_quantile(0.95);
+  }
+
+  write_done_marker(done_path, p, s);
+  std::remove(ckpt_path.c_str());
+  if (!ckpt.keep_files) std::remove(done_path.c_str());
+  return p;
+}
+
 ReplicatedMetrics run_replicated(const Scenario& base, std::size_t replicas,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool,
+                                 const CheckpointOptions& ckpt) {
+  // With checkpointing, .done markers must outlive the replica that wrote
+  // them so a restarted set can skip finished work; clean up at the end.
+  CheckpointOptions per_run = ckpt;
+  per_run.keep_files = true;
   std::vector<MetricPoint> points(replicas);
-  auto run_one = [&base, &points](std::size_t r) {
+  auto run_one = [&base, &points, &per_run](std::size_t r) {
     Scenario sc = base;
     sc.seed = base.seed + r;
-    points[r] = run_scenario(sc);
+    points[r] = run_scenario(sc, nullptr, per_run);
   };
   if (pool != nullptr && replicas > 1) {
     parallel_for_index(*pool, replicas, run_one);
   } else {
     for (std::size_t r = 0; r < replicas; ++r) run_one(r);
   }
-  ReplicatedMetrics agg;
-  for (const MetricPoint& p : points) {
-    agg.delivery_ratio.add(p.delivery_ratio);
-    agg.avg_hopcount.add(p.avg_hopcount);
-    agg.overhead_ratio.add(p.overhead_ratio);
-    agg.avg_latency.add(p.avg_latency);
+  if (ckpt.enabled() && !ckpt.keep_files) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      Scenario sc = base;
+      sc.seed = base.seed + r;
+      std::remove((run_stem(ckpt, sc, "") + ".done").c_str());
+    }
   }
+  ReplicatedMetrics agg;
+  for (const MetricPoint& p : points) agg.add(p);
   return agg;
 }
 
 std::vector<ReplicatedMetrics> run_sweep(const std::vector<SweepPoint>& points,
                                          std::size_t replicas,
-                                         ThreadPool* pool) {
+                                         ThreadPool* pool,
+                                         const CheckpointOptions& ckpt) {
+  CheckpointOptions per_run = ckpt;
+  per_run.keep_files = true;
+  auto point_label = [](std::size_t pi) {
+    std::ostringstream os;
+    os << 'p' << pi << '_';
+    return os.str();
+  };
   std::vector<ReplicatedMetrics> out(points.size());
+  std::vector<std::vector<MetricPoint>> raw(points.size());
+  for (auto& v : raw) v.resize(replicas);
+  auto run_task = [&](std::size_t task) {
+    const std::size_t pi = task / replicas;
+    const std::size_t r = task % replicas;
+    Scenario sc = points[pi].scenario;
+    sc.seed = sc.seed + r;
+    raw[pi][r] = run_scenario(sc, nullptr, per_run, point_label(pi));
+  };
   if (pool != nullptr) {
     // Flatten point × replica into independent tasks.
-    std::vector<std::vector<MetricPoint>> raw(points.size());
-    for (auto& v : raw) v.resize(replicas);
-    parallel_for_index(*pool, points.size() * replicas,
-                       [&](std::size_t task) {
-                         const std::size_t pi = task / replicas;
-                         const std::size_t r = task % replicas;
-                         Scenario sc = points[pi].scenario;
-                         sc.seed = sc.seed + r;
-                         raw[pi][r] = run_scenario(sc);
-                       });
+    parallel_for_index(*pool, points.size() * replicas, run_task);
+  } else {
+    for (std::size_t t = 0; t < points.size() * replicas; ++t) run_task(t);
+  }
+  if (ckpt.enabled() && !ckpt.keep_files) {
     for (std::size_t pi = 0; pi < points.size(); ++pi) {
-      for (const MetricPoint& p : raw[pi]) {
-        out[pi].delivery_ratio.add(p.delivery_ratio);
-        out[pi].avg_hopcount.add(p.avg_hopcount);
-        out[pi].overhead_ratio.add(p.overhead_ratio);
-        out[pi].avg_latency.add(p.avg_latency);
+      for (std::size_t r = 0; r < replicas; ++r) {
+        Scenario sc = points[pi].scenario;
+        sc.seed = sc.seed + r;
+        std::remove((run_stem(ckpt, sc, point_label(pi)) + ".done").c_str());
       }
     }
-    return out;
   }
   for (std::size_t pi = 0; pi < points.size(); ++pi) {
-    out[pi] = run_replicated(points[pi].scenario, replicas, nullptr);
+    for (const MetricPoint& p : raw[pi]) out[pi].add(p);
   }
   return out;
 }

@@ -24,11 +24,32 @@ struct MetricPoint {
   double p95_latency = 0.0;     ///< p95 creation->delivery delay (s)
 };
 
+/// Periodic checkpointing for long runs. When enabled, every run leaves a
+/// `<dir>/<name>_seed<seed>.ckpt` file every `interval_s` simulated
+/// seconds (atomically replaced), and a `.done` marker holding the final
+/// metrics on completion. A rerun with the same options resumes each
+/// replica from its checkpoint — or skips it entirely when the marker
+/// exists — and produces results identical to an uninterrupted (cold) run.
+struct CheckpointOptions {
+  std::string dir;         ///< empty = checkpointing disabled
+  double interval_s = 0.0; ///< simulated seconds between saves; <=0 disables
+  bool keep_files = false; ///< keep .ckpt/.done after a completed run
+
+  bool enabled() const { return !dir.empty() && interval_s > 0.0; }
+};
+
 /// Builds, runs and summarizes one scenario.
 MetricPoint run_scenario(const Scenario& sc);
 
 /// Same, also returning the full counter set.
 MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out);
+
+/// Same, with periodic checkpointing / resume-from-checkpoint. The
+/// `label` distinguishes runs of identically named scenarios (sweep
+/// points); pass "" outside sweeps.
+MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out,
+                         const CheckpointOptions& ckpt,
+                         const std::string& label = "");
 
 /// Aggregate over replicas (seeds base.seed, base.seed+1, ...).
 struct ReplicatedMetrics {
@@ -36,18 +57,32 @@ struct ReplicatedMetrics {
   RunningStats avg_hopcount;
   RunningStats overhead_ratio;
   RunningStats avg_latency;
+  RunningStats median_latency;
+  RunningStats p95_latency;
+
+  void add(const MetricPoint& p) {
+    delivery_ratio.add(p.delivery_ratio);
+    avg_hopcount.add(p.avg_hopcount);
+    overhead_ratio.add(p.overhead_ratio);
+    avg_latency.add(p.avg_latency);
+    median_latency.add(p.median_latency);
+    p95_latency.add(p.p95_latency);
+  }
 
   MetricPoint mean() const {
-    return {delivery_ratio.mean(), avg_hopcount.mean(),
-            overhead_ratio.mean(), avg_latency.mean()};
+    return {delivery_ratio.mean(),  avg_hopcount.mean(),
+            overhead_ratio.mean(),  avg_latency.mean(),
+            median_latency.mean(),  p95_latency.mean()};
   }
 };
 
 /// Runs `replicas` independent replications of `base` (only the seed
 /// differs). When `pool` is non-null the replicas run concurrently;
-/// results are identical either way.
+/// results are identical either way. With checkpointing enabled, a
+/// partially completed replica set resumes where it stopped.
 ReplicatedMetrics run_replicated(const Scenario& base, std::size_t replicas,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 const CheckpointOptions& ckpt = {});
 
 /// One sweep point: a label (the x value) and its base scenario.
 struct SweepPoint {
@@ -60,6 +95,7 @@ struct SweepPoint {
 /// pool when provided.
 std::vector<ReplicatedMetrics> run_sweep(const std::vector<SweepPoint>& points,
                                          std::size_t replicas,
-                                         ThreadPool* pool = nullptr);
+                                         ThreadPool* pool = nullptr,
+                                         const CheckpointOptions& ckpt = {});
 
 }  // namespace dtn

@@ -1,9 +1,11 @@
 #include "src/routing/prophet.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/core/node.hpp"
 #include "src/routing/routing_common.hpp"
+#include "src/snapshot/archive.hpp"
 
 namespace dtn {
 
@@ -31,6 +33,33 @@ void ProphetTable::on_encounter(
 double ProphetTable::predictability(NodeId dest) const {
   const auto it = p_.find(dest);
   return it != p_.end() ? it->second : 0.0;
+}
+
+void ProphetTable::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("prophet-table");
+  std::vector<NodeId> dests;
+  dests.reserve(p_.size());
+  for (const auto& [dest, p] : p_) dests.push_back(dest);
+  std::sort(dests.begin(), dests.end());
+  out.u64(dests.size());
+  for (NodeId dest : dests) {
+    out.u32(dest);
+    out.f64(p_.at(dest));
+  }
+  out.f64(last_age_);
+  out.end_section();
+}
+
+void ProphetTable::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("prophet-table");
+  p_.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const NodeId dest = in.u32();
+    p_[dest] = in.f64();
+  }
+  last_age_ = in.f64();
+  in.end_section();
 }
 
 void ProphetRouter::on_link_up(const Node& a, const Node& b,
@@ -89,6 +118,31 @@ Message ProphetRouter::make_relay_copy(const Message& sender_copy,
   relay.forwards = 0;
   relay.received = now;
   return relay;
+}
+
+void ProphetRouter::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("prophet");
+  std::vector<NodeId> owners;
+  owners.reserve(tables_.size());
+  for (const auto& [owner, table] : tables_) owners.push_back(owner);
+  std::sort(owners.begin(), owners.end());
+  out.u64(owners.size());
+  for (NodeId owner : owners) {
+    out.u32(owner);
+    tables_.at(owner).save_state(out);
+  }
+  out.end_section();
+}
+
+void ProphetRouter::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("prophet");
+  tables_.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const NodeId owner = in.u32();
+    tables_[owner].load_state(in);
+  }
+  in.end_section();
 }
 
 }  // namespace dtn

@@ -41,6 +41,10 @@ class ProphetTable {
   double predictability(NodeId dest) const;
   const std::unordered_map<NodeId, double>& entries() const { return p_; }
 
+  /// Snapshot/restore of the table (entries sorted by destination id).
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
+
  private:
   std::unordered_map<NodeId, double> p_;
   SimTime last_age_ = 0.0;
@@ -67,6 +71,9 @@ class ProphetRouter final : public Router {
 
   /// Current (aged) predictability of node `owner` for `dest`.
   double predictability(NodeId owner, NodeId dest, SimTime now) const;
+
+  void save_state(snapshot::ArchiveWriter& out) const override;
+  void load_state(snapshot::ArchiveReader& in) override;
 
  private:
   ProphetConfig cfg_;

@@ -1,5 +1,11 @@
 #include "src/sdsrp/dropped_list.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "src/snapshot/archive.hpp"
+#include "src/util/error.hpp"
+
 namespace dtn::sdsrp {
 
 void DroppedList::index_add(const DropRecord& rec) {
@@ -47,6 +53,45 @@ double DroppedList::count_drops(std::uint64_t msg) const {
 void DroppedList::forget_message(std::uint64_t msg) {
   for (auto& [node, rec] : records_) rec.dropped.erase(msg);
   counts_.erase(msg);
+}
+
+void DroppedList::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("dropped-list");
+  out.u64(owner_);
+  std::vector<std::size_t> owners;
+  owners.reserve(records_.size());
+  for (const auto& [node, rec] : records_) owners.push_back(node);
+  std::sort(owners.begin(), owners.end());
+  out.u64(owners.size());
+  for (std::size_t node : owners) {
+    const DropRecord& rec = records_.at(node);
+    out.u64(node);
+    out.f64(rec.record_time);
+    std::vector<std::uint64_t> msgs(rec.dropped.begin(), rec.dropped.end());
+    std::sort(msgs.begin(), msgs.end());
+    out.u64(msgs.size());
+    for (std::uint64_t m : msgs) out.u64(m);
+  }
+  out.end_section();
+}
+
+void DroppedList::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("dropped-list");
+  const auto owner = static_cast<std::size_t>(in.u64());
+  DTN_REQUIRE(owner == owner_, "dropped-list: snapshot belongs to another node");
+  records_.clear();
+  counts_.clear();
+  const std::uint64_t n_records = in.u64();
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    const auto node = static_cast<std::size_t>(in.u64());
+    DropRecord rec;
+    rec.record_time = in.f64();
+    const std::uint64_t n_msgs = in.u64();
+    for (std::uint64_t j = 0; j < n_msgs; ++j) rec.dropped.insert(in.u64());
+    index_add(rec);
+    records_.emplace(node, std::move(rec));
+  }
+  in.end_section();
 }
 
 }  // namespace dtn::sdsrp

@@ -15,6 +15,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+namespace dtn::snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace dtn::snapshot
+
 namespace dtn::sdsrp {
 
 /// One node's drop record as gossiped through the network.
@@ -50,6 +55,11 @@ class DroppedList {
   void forget_message(std::uint64_t msg);
 
   std::size_t known_records() const { return records_.size(); }
+
+  /// Snapshot/restore: serializes all known records in canonical (sorted)
+  /// order; the counts_ index is rebuilt on load.
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 
  private:
   void index_add(const DropRecord& rec);

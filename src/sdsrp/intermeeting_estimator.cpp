@@ -1,7 +1,10 @@
 #include "src/sdsrp/intermeeting_estimator.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn::sdsrp {
@@ -72,6 +75,55 @@ double IntermeetingEstimator::last_contact(std::size_t peer) const {
   const auto it = last_seen_.find(peer);
   return it != last_seen_.end() ? it->second
                                 : -std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+void write_sorted_map(snapshot::ArchiveWriter& out,
+                      const std::unordered_map<std::size_t, double>& m) {
+  std::vector<std::size_t> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  out.u64(keys.size());
+  for (std::size_t k : keys) {
+    out.u64(k);
+    out.f64(m.at(k));
+  }
+}
+
+void read_map(snapshot::ArchiveReader& in,
+              std::unordered_map<std::size_t, double>& m) {
+  m.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(in.u64());
+    m[k] = in.f64();
+  }
+}
+
+}  // namespace
+
+void IntermeetingEstimator::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("imt-estimator");
+  snapshot::write_running_stats(out, stats_);
+  out.f64(closed_exposure_);
+  out.u64(open_count_);
+  out.f64(open_since_sum_);
+  write_sorted_map(out, last_end_);
+  write_sorted_map(out, last_seen_);
+  out.end_section();
+}
+
+void IntermeetingEstimator::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("imt-estimator");
+  snapshot::read_running_stats(in, stats_);
+  closed_exposure_ = in.f64();
+  open_count_ = static_cast<std::size_t>(in.u64());
+  open_since_sum_ = in.f64();
+  read_map(in, last_end_);
+  read_map(in, last_seen_);
+  in.end_section();
 }
 
 }  // namespace dtn::sdsrp

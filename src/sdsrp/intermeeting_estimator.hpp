@@ -28,6 +28,11 @@
 
 #include "src/util/stats.hpp"
 
+namespace dtn::snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace dtn::snapshot
+
 namespace dtn::sdsrp {
 
 enum class ImtEstimatorMode {
@@ -69,6 +74,11 @@ class IntermeetingEstimator {
   std::size_t samples() const { return stats_.count(); }
   bool warmed_up() const { return stats_.count() >= min_samples_; }
   ImtEstimatorMode mode() const { return mode_; }
+
+  /// Snapshot/restore of the full estimator state (configuration fields
+  /// are construction parameters and are verified, not overwritten).
+  void save_state(snapshot::ArchiveWriter& out) const;
+  void load_state(snapshot::ArchiveReader& in);
 
  private:
   double prior_mean_;

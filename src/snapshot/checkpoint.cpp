@@ -1,0 +1,73 @@
+#include "src/snapshot/checkpoint.hpp"
+
+#include "src/util/error.hpp"
+
+namespace dtn::snapshot {
+
+void save_world(ArchiveWriter& out, const Scenario& sc, const World& world,
+                const ExtraWriter& extra) {
+  out.begin_section("checkpoint");
+  out.str(sc.to_settings().to_text());
+  world.save_state(out);
+  out.boolean(static_cast<bool>(extra));
+  if (extra) {
+    out.begin_section("extra");
+    extra(out);
+    out.end_section();
+  }
+  out.end_section();
+}
+
+RestoredWorld restore_world(ArchiveReader& in, const ExtraReader& extra) {
+  in.begin_section("checkpoint");
+  RestoredWorld r;
+  r.scenario = Scenario::from_settings(Settings::parse(in.str()));
+  r.world = build_world(r.scenario);
+  r.world->load_state(in);
+  const bool has_extra = in.boolean();
+  DTN_REQUIRE(has_extra == static_cast<bool>(extra),
+              "checkpoint: extra payload presence does not match reader");
+  if (has_extra) {
+    in.begin_section("extra");
+    extra(in);
+    in.end_section();
+  }
+  in.end_section();
+  return r;
+}
+
+Scenario restore_world_into(ArchiveReader& in, World& world,
+                            const ExtraReader& extra) {
+  in.begin_section("checkpoint");
+  const Scenario sc = Scenario::from_settings(Settings::parse(in.str()));
+  DTN_REQUIRE(sc.n_nodes == world.node_count(),
+              "checkpoint: scenario does not match the target world");
+  world.load_state(in);
+  const bool has_extra = in.boolean();
+  DTN_REQUIRE(has_extra == static_cast<bool>(extra),
+              "checkpoint: extra payload presence does not match reader");
+  if (has_extra) {
+    in.begin_section("extra");
+    extra(in);
+    in.end_section();
+  }
+  in.end_section();
+  return sc;
+}
+
+void save_checkpoint(const std::string& path, const Scenario& sc,
+                     const World& world, const ExtraWriter& extra) {
+  ArchiveWriter w(ArchiveWriter::Mode::kBuffer);
+  save_world(w, sc, world, extra);
+  write_archive_file(path, w);
+}
+
+RestoredWorld restore_checkpoint(const std::string& path,
+                                 const ExtraReader& extra) {
+  ArchiveReader r = read_archive_file(path);
+  return restore_world(r, extra);
+}
+
+std::uint64_t world_digest(const World& world) { return world.digest(); }
+
+}  // namespace dtn::snapshot

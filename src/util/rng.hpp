@@ -62,6 +62,11 @@ class Xoshiro256StarStar {
   /// statistically independent sub-streams from one seed.
   void jump();
 
+  /// Raw 256-bit stream state, for snapshot/restore. set_state with a
+  /// previously exported state resumes the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { state_ = s; }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
@@ -129,6 +134,12 @@ class Rng {
 
   /// Raw 64-bit draw (exposed for hashing-style consumers).
   std::uint64_t next_u64() { return gen_(); }
+
+  /// Stream-state export/import (checkpoint/restore). The state fully
+  /// determines all future draws: restore + regenerate reproduces the
+  /// original sequence bit-for-bit.
+  std::array<std::uint64_t, 4> state() const { return gen_.state(); }
+  void set_state(const std::array<std::uint64_t, 4>& s) { gen_.set_state(s); }
 
  private:
   Xoshiro256StarStar gen_;

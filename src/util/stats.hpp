@@ -30,6 +30,25 @@ class RunningStats {
   /// Half-width of the ~95% normal confidence interval of the mean.
   double ci95_half_width() const;
 
+  /// Raw accumulator state for snapshot/restore. Exported values are
+  /// reimported verbatim (including the ±inf min/max of an empty
+  /// accumulator), so a restored accumulator continues bit-identically.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State export_state() const { return {n_, mean_, m2_, min_, max_}; }
+  void import_state(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
