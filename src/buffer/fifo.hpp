@@ -11,6 +11,9 @@ namespace dtn {
 class FifoPolicy final : public BufferPolicy {
  public:
   const char* name() const override { return "fifo"; }
+  // Arrival order is total and set-independent: send-order snapshots are
+  // sound (there are no scalar priorities to memoize).
+  bool cache_safe() const override { return true; }
 
   void order_for_sending(std::vector<const Message*>& msgs,
                          const PolicyContext& ctx) const override;
@@ -27,6 +30,7 @@ class FifoPolicy final : public BufferPolicy {
 class DropTailPolicy final : public BufferPolicy {
  public:
   const char* name() const override { return "drop-tail"; }
+  bool cache_safe() const override { return true; }
 
   void order_for_sending(std::vector<const Message*>& msgs,
                          const PolicyContext& ctx) const override;
@@ -41,6 +45,7 @@ class DropTailPolicy final : public BufferPolicy {
 class DropLargestPolicy final : public BufferPolicy {
  public:
   const char* name() const override { return "drop-largest"; }
+  bool cache_safe() const override { return true; }
 
   void order_for_sending(std::vector<const Message*>& msgs,
                          const PolicyContext& ctx) const override;

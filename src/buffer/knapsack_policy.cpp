@@ -6,17 +6,21 @@
 
 namespace dtn {
 
-double KnapsackSdsrpPolicy::density(const Message& m,
-                                    const PolicyContext& ctx) const {
+double KnapsackSdsrpPolicy::density(const Message& m, const PolicyContext& ctx,
+                                    bool resident) const {
   DTN_REQUIRE(m.size > 0, "knapsack: message size must be positive");
-  return inner_.priority(m, ctx) / static_cast<double>(m.size);
+  const double u =
+      resident ? inner_.cached_priority(m, ctx) : inner_.priority(m, ctx);
+  return u / static_cast<double>(m.size);
 }
 
 void KnapsackSdsrpPolicy::order_for_sending(
     std::vector<const Message*>& msgs, const PolicyContext& ctx) const {
   std::vector<std::pair<double, const Message*>> keyed;
   keyed.reserve(msgs.size());
-  for (const Message* m : msgs) keyed.emplace_back(density(*m, ctx), m);
+  for (const Message* m : msgs) {
+    keyed.emplace_back(density(*m, ctx, /*resident=*/true), m);
+  }
   std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;
     return a.second->id < b.second->id;
@@ -32,7 +36,7 @@ const Message* KnapsackSdsrpPolicy::choose_drop(
   const Message* victim = nullptr;
   double victim_density = 0.0;
   for (const Message* m : droppable) {
-    const double d = density(*m, ctx);
+    const double d = density(*m, ctx, /*resident=*/true);
     if (victim == nullptr || d < victim_density ||
         (d == victim_density && m->id > victim->id)) {
       victim = m;

@@ -18,6 +18,9 @@ class KnapsackSdsrpPolicy final : public BufferPolicy {
       : inner_(params) {}
 
   const char* name() const override { return "knapsack-sdsrp"; }
+  // Density inherits SDSRP's cache-safety: it divides the inner U_i by
+  // the (immutable) message size.
+  bool cache_safe() const override { return true; }
   bool uses_dropped_list() const override { return true; }
   bool rejects_previously_dropped() const override {
     return inner_.rejects_previously_dropped();
@@ -30,8 +33,11 @@ class KnapsackSdsrpPolicy final : public BufferPolicy {
                              const Message* newcomer,
                              const PolicyContext& ctx) const override;
 
-  /// Utility density U_i / size of one message.
-  double density(const Message& m, const PolicyContext& ctx) const;
+  /// Utility density U_i / size of one message. `resident` routes the
+  /// inner priority through the node's memo — only valid for messages in
+  /// ctx.node's buffer (newcomers must be rated fresh).
+  double density(const Message& m, const PolicyContext& ctx,
+                 bool resident = false) const;
 
  private:
   SdsrpPolicy inner_;

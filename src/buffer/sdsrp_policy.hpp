@@ -44,6 +44,12 @@ class SdsrpPolicy final : public ScalarBufferPolicy {
   explicit SdsrpPolicy(const SdsrpParams& params = {}) : params_(params) {}
 
   const char* name() const override { return "sdsrp"; }
+  // U_i is pure in (message, node estimators, now); every estimator
+  // change reaches the node's PriorityCache as an epoch bump or a
+  // per-message invalidation, so memoized values are never silently
+  // stale beyond the refresh quantum. The oracle variant below is NOT
+  // cache-safe: registry updates carry no node-local signal.
+  bool cache_safe() const override { return true; }
   bool uses_dropped_list() const override { return true; }
   bool rejects_previously_dropped() const override {
     return params_.reject_previously_dropped;

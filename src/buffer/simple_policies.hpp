@@ -15,6 +15,8 @@ namespace dtn {
 class TtlRatioPolicy final : public ScalarBufferPolicy {
  public:
   const char* name() const override { return "ttl-ratio"; }
+  // Pure in (message, now): the refresh quantum alone bounds staleness.
+  bool cache_safe() const override { return true; }
   double priority(const Message& m, const PolicyContext& ctx) const override {
     return m.ttl > 0.0 ? m.remaining_ttl(ctx.now) / m.ttl : 0.0;
   }
@@ -26,6 +28,7 @@ class TtlRatioPolicy final : public ScalarBufferPolicy {
 class CopiesRatioPolicy final : public ScalarBufferPolicy {
  public:
   const char* name() const override { return "copies-ratio"; }
+  bool cache_safe() const override { return true; }
   double priority(const Message& m, const PolicyContext& /*ctx*/) const override {
     return m.initial_copies > 0
                ? static_cast<double>(m.copies) /
@@ -39,6 +42,7 @@ class CopiesRatioPolicy final : public ScalarBufferPolicy {
 class MofoPolicy final : public ScalarBufferPolicy {
  public:
   const char* name() const override { return "mofo"; }
+  bool cache_safe() const override { return true; }
   double priority(const Message& m, const PolicyContext& /*ctx*/) const override {
     return -static_cast<double>(m.forwards);
   }
@@ -49,6 +53,7 @@ class MofoPolicy final : public ScalarBufferPolicy {
 class LifoPolicy final : public ScalarBufferPolicy {
  public:
   const char* name() const override { return "lifo"; }
+  bool cache_safe() const override { return true; }
   double priority(const Message& m, const PolicyContext& /*ctx*/) const override {
     return m.received;
   }

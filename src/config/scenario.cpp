@@ -56,6 +56,8 @@ Settings Scenario::to_settings() const {
   put_d("World.range", world.range);
   put_d("World.bandwidth", world.bandwidth);
   s.set("World.ackGossip", world.ack_gossip ? "true" : "false");
+  s.set("World.priorityCache", world.priority_cache ? "true" : "false");
+  put_d("World.priorityRefreshS", world.priority_refresh_s);
   put_i("World.nodes", static_cast<std::int64_t>(n_nodes));
   put_i("World.bufferBytes", buffer_capacity);
   put_d("Traffic.intervalMin", traffic.interval_min);
@@ -100,6 +102,10 @@ Scenario Scenario::from_settings(const Settings& s) {
   sc.world.range = s.get_double_or("World.range", sc.world.range);
   sc.world.bandwidth = s.get_double_or("World.bandwidth", sc.world.bandwidth);
   sc.world.ack_gossip = s.get_bool_or("World.ackGossip", sc.world.ack_gossip);
+  sc.world.priority_cache =
+      s.get_bool_or("World.priorityCache", sc.world.priority_cache);
+  sc.world.priority_refresh_s =
+      s.get_double_or("World.priorityRefreshS", sc.world.priority_refresh_s);
   sc.n_nodes = static_cast<std::size_t>(
       s.get_int_or("World.nodes", static_cast<std::int64_t>(sc.n_nodes)));
   sc.buffer_capacity = s.get_int_or("World.bufferBytes", sc.buffer_capacity);

@@ -35,6 +35,7 @@ bool Buffer::try_insert(Message m) {
   DTN_REQUIRE(m.size > 0, "Buffer: message size must be positive");
   if (m.size > free()) return false;
   used_ += m.size;
+  ++revision_;
   messages_.push_back(std::move(m));
   return true;
 }
@@ -47,6 +48,7 @@ Message Buffer::take(MessageId id) {
   Message out = std::move(*it);
   messages_.erase(it);
   used_ -= out.size;
+  ++revision_;
   return out;
 }
 
@@ -88,6 +90,10 @@ Message load_message(snapshot::ArchiveReader& in) {
 void Buffer::save_state(snapshot::ArchiveWriter& out) const {
   out.begin_section("buffer");
   out.i64(capacity_);
+  // The revision counter is derived-but-deterministic (one bump per
+  // membership change), so it is digest-safe; restoring it keeps
+  // revision-keyed memo snapshots valid across checkpoint/restore.
+  out.u64(revision_);
   out.u64(messages_.size());
   for (const Message& m : messages_) save_message(out, m);
   out.end_section();
@@ -98,6 +104,7 @@ void Buffer::load_state(snapshot::ArchiveReader& in) {
   const std::int64_t capacity = in.i64();
   DTN_REQUIRE(capacity == capacity_,
               "buffer: snapshot capacity does not match this world");
+  revision_ = in.u64();
   messages_.clear();
   used_ = 0;
   const std::uint64_t n = in.u64();
@@ -120,6 +127,7 @@ std::vector<Message> Buffer::purge_expired(
   for (auto it = messages_.begin(); it != messages_.end();) {
     if (it->expired(now) && !is_pinned(it->id)) {
       used_ -= it->size;
+      ++revision_;
       removed.push_back(std::move(*it));
       it = messages_.erase(it);
     } else {

@@ -33,6 +33,13 @@ class Buffer {
   /// Occupancy in [0,1].
   double occupancy() const;
 
+  /// Monotonic membership-change counter: bumped by every insert/remove
+  /// (and by load_state). Memoized views keyed by it (the per-node
+  /// send-order snapshot) go stale the moment membership churns. In-place
+  /// field mutation through find()/messages() does NOT bump it — such
+  /// changes must be signalled via PriorityCache::invalidate.
+  std::uint64_t revision() const { return revision_; }
+
   bool has(MessageId id) const;
   /// Pointer into the buffer, or nullptr. Invalidated by insert/remove.
   Message* find(MessageId id);
@@ -62,6 +69,7 @@ class Buffer {
  private:
   std::int64_t capacity_;
   std::int64_t used_ = 0;
+  std::uint64_t revision_ = 0;
   std::vector<Message> messages_;
 };
 

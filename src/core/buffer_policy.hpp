@@ -28,6 +28,13 @@ struct PolicyContext {
   std::size_t n_nodes = 0;                 ///< N, network size
   const Node* node = nullptr;              ///< owner of the buffer at hand
   const GlobalRegistry* oracle = nullptr;  ///< ground truth (oracle policies)
+  /// Priority memoization (WorldConfig::priority_cache): when set,
+  /// cache-safe policies route resident-message priorities through
+  /// `node`'s PriorityCache; `priority_refresh_s` bounds how long a
+  /// value survives pure time decay (0 = same-instant reuse only, which
+  /// is decision-identical to recomputing).
+  bool cache_enabled = false;
+  double priority_refresh_s = 0.0;
 
   /// Same context viewed from another node's buffer.
   PolicyContext viewed_from(const Node& other) const {
@@ -55,6 +62,15 @@ class BufferPolicy {
       const std::vector<const Message*>& droppable, const Message* newcomer,
       const PolicyContext& ctx) const = 0;
 
+  /// True if this policy's decisions are a pure deterministic function of
+  /// (message, ctx.node state, ctx.now) with a *total*, set-independent
+  /// ordering — the contract that makes per-node priority memoization and
+  /// send-order snapshots sound. False (the default) for policies that
+  /// consume shared mutable state per evaluation (RandomPolicy's RNG
+  /// stream) or read global inputs with no node-local invalidation signal
+  /// (oracle/registry-backed policies).
+  virtual bool cache_safe() const { return false; }
+
   /// True if nodes under this policy maintain and gossip the SDSRP
   /// dropped-list structure (Fig. 5).
   virtual bool uses_dropped_list() const { return false; }
@@ -79,6 +95,13 @@ class ScalarBufferPolicy : public BufferPolicy {
  public:
   /// Larger = more valuable (sent earlier, dropped later).
   virtual double priority(const Message& m, const PolicyContext& ctx) const = 0;
+
+  /// `priority(m, ctx)` memoized through ctx.node's PriorityCache when
+  /// the context enables it and the policy is cache_safe(). Only call
+  /// this for messages *resident* in ctx.node's buffer — the cache is
+  /// keyed by message id, and only residents receive invalidation events;
+  /// newcomers under admission must be rated with plain priority().
+  double cached_priority(const Message& m, const PolicyContext& ctx) const;
 
   void order_for_sending(std::vector<const Message*>& msgs,
                          const PolicyContext& ctx) const override;

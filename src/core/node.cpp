@@ -74,9 +74,16 @@ Node::AdmitResult Node::admit(Message incoming, const PolicyContext& ctx,
   AdmitResult result;
   std::vector<MessageId> victims;
   if (!plan_admission(incoming, ctx, newcomer_view, &victims)) return result;
-  for (MessageId v : victims) result.evicted.push_back(buffer_.take(v));
+  const MessageId incoming_id = incoming.id;
+  for (MessageId v : victims) {
+    result.evicted.push_back(buffer_.take(v));
+    prio_cache_.invalidate(v);
+  }
   const bool ok = buffer_.try_insert(std::move(incoming));
   DTN_REQUIRE(ok, "admission plan did not free enough space");
+  // A stale memo entry from an earlier tenure of this id must not shadow
+  // the freshly admitted copy.
+  prio_cache_.invalidate(incoming_id);
   result.admitted = true;
   return result;
 }
@@ -112,6 +119,7 @@ void Node::save_state(snapshot::ArchiveWriter& out) const {
   out.u64(pinned_.size());
   for (MessageId id : pinned_) out.u64(id);  // pin order is kernel state
   out.boolean(radio_busy_);
+  prio_cache_.save_state(out);
   out.end_section();
 }
 
@@ -130,6 +138,7 @@ void Node::load_state(snapshot::ArchiveReader& in) {
   pinned_.reserve(n_pinned);
   for (std::uint64_t i = 0; i < n_pinned; ++i) pinned_.push_back(in.u64());
   radio_busy_ = in.boolean();
+  prio_cache_.load_state(in);
   in.end_section();
 }
 

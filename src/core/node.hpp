@@ -9,6 +9,7 @@
 #include "src/core/buffer.hpp"
 #include "src/core/buffer_policy.hpp"
 #include "src/core/message.hpp"
+#include "src/core/priority_cache.hpp"
 #include "src/core/types.hpp"
 #include "src/mobility/mobility_model.hpp"
 #include "src/sdsrp/dropped_list.hpp"
@@ -59,6 +60,32 @@ class Node {
   const sdsrp::IntermeetingEstimator& intermeeting() const { return imt_; }
   sdsrp::DroppedList& dropped_list() { return dropped_; }
   const sdsrp::DroppedList& dropped_list() const { return dropped_; }
+
+  // --- priority memoization (see priority_cache.hpp) ---
+  // The kernel mutates estimator/dropped-list state through these
+  // wrappers so every change carries its invalidation signal. Mutating
+  // intermeeting()/dropped_list() directly bypasses the cache — fine for
+  // tests and cache-off runs, stale otherwise.
+  /// Mutable from const contexts: the cache is a memo, not node state.
+  PriorityCache& priority_cache() const { return prio_cache_; }
+  void note_contact_start(std::size_t peer, SimTime now) {
+    imt_.on_contact_start(peer, now);
+    prio_cache_.bump_epoch();  // λ changed: every priority is stale
+  }
+  void note_contact_end(std::size_t peer, SimTime now) {
+    imt_.on_contact_end(peer, now);
+    prio_cache_.bump_epoch();
+  }
+  void merge_dropped_from(const Node& other) {
+    // d̂ only moves when a record is adopted; bump (and its digest
+    // footprint) must not depend on whether caching is enabled, so the
+    // merge result alone decides.
+    if (dropped_.merge_from(other.dropped_list())) prio_cache_.bump_epoch();
+  }
+  void record_drop(MessageId id, SimTime now) {
+    dropped_.record_local_drop(id, now);
+    prio_cache_.invalidate(id);  // only this message's d̂ changed
+  }
   /// True if this node itself dropped the message before (receive-reject,
   /// only meaningful when the active policy maintains dropped lists).
   bool has_dropped(MessageId id) const { return dropped_.has_own_drop(id); }
@@ -114,6 +141,7 @@ class Node {
   std::unordered_set<MessageId> known_delivered_;
   std::vector<MessageId> pinned_;
   bool radio_busy_ = false;
+  mutable PriorityCache prio_cache_;
 };
 
 }  // namespace dtn

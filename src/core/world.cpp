@@ -11,6 +11,10 @@ World::World(const WorldConfig& cfg) : cfg_(cfg), tracker_(cfg.range) {
   DTN_REQUIRE(cfg.step > 0.0, "World: step must be positive");
   DTN_REQUIRE(cfg.duration > 0.0, "World: duration must be positive");
   DTN_REQUIRE(cfg.bandwidth > 0.0, "World: bandwidth must be positive");
+  DTN_REQUIRE(cfg.occupancy_sample_interval > 0.0,
+              "World: occupancy_sample_interval must be positive");
+  DTN_REQUIRE(cfg.priority_refresh_s >= 0.0,
+              "World: priority_refresh_s must be non-negative");
   next_occupancy_sample_ = cfg.occupancy_sample_interval;
 }
 
@@ -60,6 +64,8 @@ PolicyContext World::ctx_for(const Node& n) const {
   ctx.n_nodes = nodes_.size();
   ctx.node = &n;
   ctx.oracle = &registry_;
+  ctx.cache_enabled = cfg_.priority_cache;
+  ctx.priority_refresh_s = cfg_.priority_refresh_s;
   return ctx;
 }
 
@@ -102,8 +108,10 @@ void World::process_link_down(const NodePair& p) {
   abort_transfers_on(p);
   Node& a = node(static_cast<NodeId>(p.first));
   Node& b = node(static_cast<NodeId>(p.second));
-  a.intermeeting().on_contact_end(p.second, now_);
-  b.intermeeting().on_contact_end(p.first, now_);
+  idle_memo_.erase(std::make_pair(a.id(), b.id()));
+  idle_memo_.erase(std::make_pair(b.id(), a.id()));
+  a.note_contact_end(p.second, now_);
+  b.note_contact_end(p.first, now_);
   notify([&p, this](WorldObserver& o) { o.on_link_down(p, now_); });
   if (cfg_.collect_intermeeting) {
     pair_last_end_[p] = now_;
@@ -118,8 +126,8 @@ void World::process_link_down(const NodePair& p) {
 void World::process_link_up(const NodePair& p) {
   Node& a = node(static_cast<NodeId>(p.first));
   Node& b = node(static_cast<NodeId>(p.second));
-  a.intermeeting().on_contact_start(p.second, now_);
-  b.intermeeting().on_contact_start(p.first, now_);
+  a.note_contact_start(p.second, now_);
+  b.note_contact_start(p.first, now_);
   router_->on_link_up(a, b, now_);
   if (cfg_.ack_gossip) {
     for (MessageId id : b.known_delivered()) a.learn_delivered(id);
@@ -129,8 +137,8 @@ void World::process_link_up(const NodePair& p) {
   }
   if (policy_->uses_dropped_list()) {
     // Fig. 5 gossip: exchange and reconcile drop records on encounter.
-    a.dropped_list().merge_from(b.dropped_list());
-    b.dropped_list().merge_from(a.dropped_list());
+    a.merge_dropped_from(b);
+    b.merge_dropped_from(a);
   }
   if (cfg_.collect_intermeeting) {
     const auto it = pair_last_end_.find(p);
@@ -196,6 +204,7 @@ void World::handle_completion(const Transfer& t) {
   if (copy->expired(now_)) {
     // Died in flight: the payload is useless on both ends.
     const Message dead = from.buffer().take(t.msg);
+    from.priority_cache().invalidate(t.msg);
     registry_.on_copy_removed(t.msg, t.from, /*dropped=*/false);
     ++stats_.ttl_expired;
     ++stats_.transfers_aborted;
@@ -228,6 +237,8 @@ void World::handle_completion(const Transfer& t) {
       ++stats_.duplicates;
     }
     const bool keep = router_->on_sent(*copy, /*delivered=*/true, now_);
+    // Routers may mutate the sender copy in place on send.
+    from.priority_cache().invalidate(t.msg);
     if (!keep) {
       from.buffer().take(t.msg);
       registry_.on_copy_removed(t.msg, t.from, /*dropped=*/false);
@@ -239,9 +250,13 @@ void World::handle_completion(const Transfer& t) {
 
   // Relay completion.
   if (to.buffer().has(t.msg)) {
-    // The receiver obtained the message elsewhere mid-transfer; treat the
-    // arrival as a duplicate and leave the sender untouched.
+    // The receiver obtained the message elsewhere mid-transfer. The
+    // transfer still ran to completion — count it so
+    // started == completed + aborted holds — but the arrival is a
+    // duplicate: the sender keeps its copy budget untouched.
     ++stats_.duplicates;
+    ++stats_.transfers_completed;
+    notify([&t](WorldObserver& o) { o.on_transfer_completed(t, false); });
     return;
   }
   Message relay = router_->make_relay_copy(*copy, now_);
@@ -250,7 +265,13 @@ void World::handle_completion(const Transfer& t) {
       router_->rate_newcomer_as_sender_copy() ? copy : nullptr;
   Node::AdmitResult res = to.admit(std::move(relay), ctx_for(to), view);
   if (!res.admitted) {
+    // Receiver-side state changed between the try_start precheck and
+    // completion: the transfer ran but took no effect. It aborts (for the
+    // started == completed + aborted invariant) and is additionally
+    // tallied as an admission rejection.
     ++stats_.admission_rejected;
+    ++stats_.transfers_aborted;
+    notify([&t](WorldObserver& o) { o.on_transfer_aborted(t); });
     return;  // sender keeps its copies; bandwidth was wasted
   }
   ++stats_.transfers_completed;
@@ -258,6 +279,9 @@ void World::handle_completion(const Transfer& t) {
   registry_.on_copy_received(id, t.to);
   for (const Message& ev : res.evicted) handle_drop(to, ev);
   const bool keep = router_->on_sent(*copy, /*delivered=*/false, now_);
+  // on_sent halves/decrements the sender's copy tokens and appends the
+  // spray lineage: the memoized priority for this id is stale.
+  from.priority_cache().invalidate(t.msg);
   if (!keep) {
     from.buffer().take(t.msg);
     registry_.on_copy_removed(t.msg, t.from, /*dropped=*/false);
@@ -276,9 +300,7 @@ void World::generate_traffic() {
     if (!res.admitted) {
       ++stats_.source_rejected;
       registry_.on_copy_removed(id, src, /*dropped=*/true);
-      if (policy_->uses_dropped_list()) {
-        source.dropped_list().record_local_drop(id, now_);
-      }
+      if (policy_->uses_dropped_list()) source.record_drop(id, now_);
       continue;
     }
     for (const Message& ev : res.evicted) handle_drop(source, ev);
@@ -288,6 +310,7 @@ void World::generate_traffic() {
 void World::purge_ttl() {
   for (auto& n : nodes_) {
     for (const Message& dead : n->buffer().purge_expired(now_, n->pinned())) {
+      n->priority_cache().invalidate(dead.id);
       registry_.on_copy_removed(dead.id, n->id(), /*dropped=*/false);
       ++stats_.ttl_expired;
       notify([&](WorldObserver& o) { o.on_ttl_expired(n->id(), dead, now_); });
@@ -306,8 +329,31 @@ void World::try_start(NodeId from_id, NodeId to_id) {
   Node& from = node(from_id);
   Node& to = node(to_id);
   if (from.radio_busy() || to.radio_busy()) return;
+  const auto key = std::make_pair(from_id, to_id);
+  if (cfg_.priority_cache) {
+    const auto it = idle_memo_.find(key);
+    if (it != idle_memo_.end()) {
+      const IdleMemo& m = it->second;
+      if (now_ - m.at <= cfg_.priority_refresh_s &&
+          m.from_stamp == from.priority_cache().stamp() &&
+          m.from_rev == from.buffer().revision() &&
+          m.to_stamp == to.priority_cache().stamp() &&
+          m.to_rev == to.buffer().revision()) {
+        return;  // nothing was sendable and no priority input moved since
+      }
+      idle_memo_.erase(it);
+    }
+  }
   const auto msg = router_->next_to_send(from, to, ctx_for(from));
-  if (!msg.has_value()) return;
+  if (!msg.has_value()) {
+    if (cfg_.priority_cache) {
+      idle_memo_[key] =
+          IdleMemo{now_, from.priority_cache().stamp(),
+                   from.buffer().revision(), to.priority_cache().stamp(),
+                   to.buffer().revision()};
+    }
+    return;
+  }
   const Message* copy = from.buffer().find(*msg);
   DTN_REQUIRE(copy != nullptr, "router chose a message the node lacks");
   from.pin(*msg);
@@ -327,9 +373,7 @@ void World::try_start(NodeId from_id, NodeId to_id) {
 void World::handle_drop(Node& n, const Message& m) {
   ++stats_.drops;
   registry_.on_copy_removed(m.id, n.id(), /*dropped=*/true);
-  if (policy_->uses_dropped_list()) {
-    n.dropped_list().record_local_drop(m.id, now_);
-  }
+  if (policy_->uses_dropped_list()) n.record_drop(m.id, now_);
   notify([&](WorldObserver& o) { o.on_drop(n.id(), m, now_); });
 }
 
@@ -345,6 +389,9 @@ bool World::inject_message(Message m) {
   if (!res.admitted) {
     ++stats_.source_rejected;
     registry_.on_copy_removed(id, src, /*dropped=*/true);
+    // Mirror generate_traffic: a source-side rejection is a local drop —
+    // SDSRP's d̂_i must not depend on how the message entered the world.
+    if (policy_->uses_dropped_list()) source.record_drop(id, now_);
     return false;
   }
   for (const Message& ev : res.evicted) handle_drop(source, ev);
@@ -358,6 +405,7 @@ void World::purge_acked(Node& n) {
   }
   for (MessageId id : doomed) {
     n.buffer().take(id);
+    n.priority_cache().invalidate(id);
     registry_.on_copy_removed(id, n.id(), /*dropped=*/false);
     ++stats_.ack_purged;
   }
@@ -434,6 +482,21 @@ void World::save_state(snapshot::ArchiveWriter& out) const {
   write_pair_time_map(out, pair_up_since_);
   write_sample_vec(out, imt_samples_);
   write_sample_vec(out, contact_samples_);
+  // The idle memo is a pure function of serialized state (same argument
+  // as PriorityCache): skipped in digests, carried in checkpoints so a
+  // restored run skips the same try_start calls an uninterrupted one does.
+  if (!out.digest_only()) {
+    out.u64(idle_memo_.size());
+    for (const auto& [p, m] : idle_memo_) {  // std::map iterates sorted
+      out.u32(p.first);
+      out.u32(p.second);
+      out.f64(m.at);
+      out.u64(m.from_stamp);
+      out.u64(m.from_rev);
+      out.u64(m.to_stamp);
+      out.u64(m.to_rev);
+    }
+  }
   out.end_section();
 }
 
@@ -472,6 +535,19 @@ void World::load_state(snapshot::ArchiveReader& in) {
   read_pair_time_map(in, pair_up_since_);
   read_sample_vec(in, imt_samples_);
   read_sample_vec(in, contact_samples_);
+  idle_memo_.clear();
+  const std::uint64_t n_memo = in.u64();
+  for (std::uint64_t i = 0; i < n_memo; ++i) {
+    const NodeId a = in.u32();
+    const NodeId b = in.u32();
+    IdleMemo m;
+    m.at = in.f64();
+    m.from_stamp = in.u64();
+    m.from_rev = in.u64();
+    m.to_stamp = in.u64();
+    m.to_rev = in.u64();
+    idle_memo_[std::make_pair(a, b)] = m;
+  }
   in.end_section();
 }
 

@@ -41,6 +41,17 @@ struct WorldConfig {
   /// "already delivered" set that nodes exchange on contact; holders
   /// purge copies of delivered messages and refuse new ones.
   bool ack_gossip = false;
+  /// Priority memoization (DESIGN.md §8): cache-safe policies reuse
+  /// computed priorities and per-node send orders between invalidation
+  /// events instead of re-deriving them per contact per step.
+  bool priority_cache = true;
+  /// Staleness quantum for pure time decay (remaining TTL, censored-MLE
+  /// λ): a cached priority older than this is recomputed. 0 restricts
+  /// reuse to the same instant, making cached runs decision-identical to
+  /// uncached ones (`World::digest()`-provable); the default trades ≤15 s
+  /// of TTL-decay staleness for the hot-path speedup. The quantum also
+  /// bounds how long an idle contact pair may be skipped outright.
+  double priority_refresh_s = 15.0;
 };
 
 /// An in-flight message transmission.
@@ -137,6 +148,20 @@ class World {
     for (WorldObserver* o : observers_) fn(*o);
   }
 
+  /// Cached "nothing to send" verdict of `try_start(from, to)`. Valid
+  /// while neither endpoint's priority-input fingerprint (cache stamp +
+  /// buffer revision) changes and the refresh quantum has not elapsed;
+  /// every event that could create a sendable candidate — an insert, a
+  /// drop, a copy-count change, an estimator or dropped-list update —
+  /// moves one of the four counters. Entries die with their link.
+  struct IdleMemo {
+    SimTime at = 0.0;
+    std::uint64_t from_stamp = 0;
+    std::uint64_t from_rev = 0;
+    std::uint64_t to_stamp = 0;
+    std::uint64_t to_rev = 0;
+  };
+
   WorldConfig cfg_;
   SimTime now_ = 0.0;
   std::vector<WorldObserver*> observers_;
@@ -149,6 +174,11 @@ class World {
   GlobalRegistry registry_;
   SimStats stats_;
   SimTime next_occupancy_sample_ = 0.0;
+
+  /// Keyed by the *directional* (from, to) pair, unlike the sorted
+  /// NodePair convention elsewhere. std::map for deterministic
+  /// serialization order.
+  std::map<std::pair<NodeId, NodeId>, IdleMemo> idle_memo_;
 
   // Fig. 3 collection: per-pair last contact end / start.
   std::map<NodePair, double> pair_last_end_;

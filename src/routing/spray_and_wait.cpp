@@ -18,14 +18,56 @@ std::optional<MessageId> SprayAndWaitRouter::next_to_send(
   const auto deliverable = routing::deliverable_messages(self, peer, ctx);
   if (!deliverable.empty()) return deliverable.front()->id;
 
+  // The expensive part of candidate selection — filtering by spray
+  // eligibility and sorting by policy priority — is peer-independent, so
+  // under a cache-safe policy (total, set-independent ordering) the
+  // ranked list is memoized per node and reused across every try_start
+  // of the step; only the cheap peer filter runs per pair. The snapshot
+  // dies with the buffer revision, any priority invalidation, or the
+  // refresh quantum (priority_cache.hpp).
+  const bool memoize = ctx.cache_enabled && self.policy().cache_safe();
   std::vector<const Message*> spray;
-  for (const Message& m : self.buffer().messages()) {
-    if (m.expired(ctx.now)) continue;
-    if (!can_spray(m, self)) continue;
-    if (!routing::peer_can_receive(peer, m)) continue;
-    spray.push_back(&m);
+  const std::vector<MessageId>* order =
+      memoize ? self.priority_cache().send_order(
+                    ctx.now, ctx.priority_refresh_s, self.buffer().revision())
+              : nullptr;
+  if (order != nullptr) {
+    spray.reserve(order->size());
+    for (MessageId id : *order) {
+      const Message* m = self.buffer().find(id);
+      DTN_REQUIRE(m != nullptr, "send-order snapshot out of sync");
+      if (routing::peer_can_receive(peer, *m)) spray.push_back(m);
+    }
+  } else if (memoize) {
+    // Rank first (peer-independent), memoize, then peer-filter. For a
+    // total ordering this commutes with the filter-then-rank order below.
+    std::vector<const Message*> ranked;
+    for (const Message& m : self.buffer().messages()) {
+      if (m.expired(ctx.now)) continue;
+      if (!can_spray(m, self)) continue;
+      ranked.push_back(&m);
+    }
+    self.policy().order_for_sending(ranked, ctx);
+    std::vector<MessageId> ids;
+    ids.reserve(ranked.size());
+    for (const Message* m : ranked) ids.push_back(m->id);
+    self.priority_cache().store_send_order(std::move(ids), ctx.now,
+                                           self.buffer().revision());
+    spray.reserve(ranked.size());
+    for (const Message* m : ranked) {
+      if (routing::peer_can_receive(peer, *m)) spray.push_back(m);
+    }
+  } else {
+    // Uncached path: unchanged from the pre-cache kernel (non-total
+    // orderings like RandomPolicy must see the peer-filtered list).
+    for (const Message& m : self.buffer().messages()) {
+      if (m.expired(ctx.now)) continue;
+      if (!can_spray(m, self)) continue;
+      if (!routing::peer_can_receive(peer, m)) continue;
+      spray.push_back(&m);
+    }
+    self.policy().order_for_sending(spray, ctx);
   }
-  self.policy().order_for_sending(spray, ctx);
   if (!cfg_.precheck_admission) {
     return spray.empty() ? std::nullopt
                          : std::make_optional(spray.front()->id);

@@ -30,19 +30,23 @@ bool DroppedList::has_own_drop(std::uint64_t msg) const {
   return it != records_.end() && it->second.dropped.count(msg) > 0;
 }
 
-void DroppedList::merge_from(const DroppedList& other) {
+bool DroppedList::merge_from(const DroppedList& other) {
+  bool changed = false;
   for (const auto& [node, rec] : other.records_) {
     if (node == owner_) continue;  // only the owner writes the own record
     auto it = records_.find(node);
     if (it == records_.end()) {
       records_.emplace(node, rec);
       index_add(rec);
+      changed = true;
     } else if (rec.record_time > it->second.record_time) {
       index_remove(it->second);
       it->second = rec;
       index_add(rec);
+      changed = true;
     }
   }
+  return changed;
 }
 
 double DroppedList::count_drops(std::uint64_t msg) const {

@@ -44,8 +44,10 @@ class DroppedList {
   /// Gossip merge: adopt every record of `other` that is newer than the
   /// local copy of the same owner's record. The own record is never
   /// overwritten by gossip (only the owner modifies it, and its local copy
-  /// is by construction the newest).
-  void merge_from(const DroppedList& other);
+  /// is by construction the newest). Returns true if any record was
+  /// adopted — i.e. d̂ estimates may have changed and priority memos
+  /// keyed on them must be invalidated.
+  bool merge_from(const DroppedList& other);
 
   /// d̂_i: number of known node records containing `msg`.
   double count_drops(std::uint64_t msg) const;

@@ -29,7 +29,7 @@ namespace dtn::snapshot {
 /// version on any layout change; readers reject archives whose version
 /// they do not understand (no silent best-effort decoding).
 inline constexpr std::uint32_t kArchiveMagic = 0x534E5444u;  // "DTNS" LE
-inline constexpr std::uint32_t kArchiveVersion = 1;
+inline constexpr std::uint32_t kArchiveVersion = 2;  // v2: priority cache
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {
@@ -69,6 +69,11 @@ class ArchiveWriter {
   };
 
   explicit ArchiveWriter(Mode mode = Mode::kBuffer) : mode_(mode) {}
+
+  /// True in digest mode. Derived-but-deterministic state (memo caches)
+  /// is written only to buffered archives, so digests compare the
+  /// semantic state alone.
+  bool digest_only() const { return mode_ == Mode::kDigestOnly; }
 
   void u8(std::uint8_t v);
   void u32(std::uint32_t v);

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "src/buffer/fifo.hpp"
 #include "src/buffer/sdsrp_policy.hpp"
+#include "src/config/scenario.hpp"
 #include "src/core/world.hpp"
 #include "src/mobility/stationary.hpp"
 #include "src/routing/spray_and_wait.hpp"
@@ -264,6 +266,104 @@ TEST(World, ExpiredMessageDiesInFlight) {
   EXPECT_EQ(w->stats().ttl_expired, 1u);
   EXPECT_FALSE(w->node(0).buffer().has(1));
   EXPECT_FALSE(w->node(1).buffer().has(1));
+}
+
+// started == completed + aborted (+ still in flight) must hold at any
+// point of any run — trace consumers reconcile transfer streams on it.
+// Exercised across all four paper policies on the Table II scenario,
+// shrunk but kept hostile (small buffers force drops and rejections,
+// slow transfers force link-break aborts).
+TEST(World, TransferCounterInvariantAcrossPaperPolicies) {
+  for (const std::string& policy :
+       {"fifo", "ttl-ratio", "copies-ratio", "sdsrp"}) {
+    Scenario sc = Scenario::random_waypoint_paper();
+    sc.policy = policy;
+    sc.world.duration = 2000.0;
+    sc.buffer_capacity = 1'000'000;  // 2 messages: constant eviction
+    auto w = build_world(sc);
+    w->run();
+    const SimStats& s = w->stats();
+    EXPECT_GT(s.transfers_started, 0u) << policy;
+    EXPECT_GT(s.transfers_aborted, 0u) << policy;
+    EXPECT_EQ(s.transfers_started,
+              s.transfers_completed + s.transfers_aborted +
+                  w->transfers_in_flight().size())
+        << policy;
+  }
+}
+
+TEST(World, DuplicateRelayArrivalCountsAsCompletedTransfer) {
+  WorldConfig cfg = fast_cfg();
+  cfg.bandwidth = 10.0;  // 100-byte message -> 10 s in flight
+  // 0 and 1 adjacent; the destination (2) is unreachable, so 0 -> 1 is a
+  // relay transfer.
+  auto w = make_world(cfg, {{0, 0}, {5, 0}, {1000, 0}});
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 2, /*copies=*/4)));
+  w->run_until(5.0);
+  ASSERT_EQ(w->transfers_in_flight().size(), 1u);
+  // The receiver obtains a copy through a side channel mid-transfer.
+  ASSERT_TRUE(w->node(1).buffer().try_insert(msg(1, 0, 2, /*copies=*/2)));
+  w->run_until(12.0);
+  const SimStats& s = w->stats();
+  EXPECT_EQ(s.transfers_started, 1u);
+  EXPECT_EQ(s.transfers_completed, 1u);  // ran to completion — counted
+  EXPECT_EQ(s.transfers_aborted, 0u);
+  EXPECT_EQ(s.duplicates, 1u);
+  // The sender's copy budget stays untouched: no split happened.
+  ASSERT_NE(w->node(0).buffer().find(1), nullptr);
+  EXPECT_EQ(w->node(0).buffer().find(1)->copies, 4);
+}
+
+TEST(World, AdmissionRejectedArrivalCountsAsAborted) {
+  WorldConfig cfg = fast_cfg();
+  cfg.bandwidth = 10.0;
+  auto w = std::make_unique<World>(cfg);
+  // No receiver-admission handshake: the transfer starts even though the
+  // receiver can never admit the copy.
+  SprayAndWaitConfig swc;
+  swc.precheck_admission = false;
+  w->set_router(std::make_unique<SprayAndWaitRouter>(swc));
+  w->set_policy(std::make_unique<FifoPolicy>());
+  w->add_node(std::make_unique<StationaryModel>(Vec2{0, 0}), 10000);
+  w->add_node(std::make_unique<StationaryModel>(Vec2{5, 0}), 50);  // < 100 B
+  w->add_node(std::make_unique<StationaryModel>(Vec2{1000, 0}), 10000);
+  ASSERT_TRUE(w->inject_message(msg(1, 0, 2, /*copies=*/4)));
+  w->run_until(12.0);
+  const SimStats& s = w->stats();
+  // The sender retries after the abort, so a second attempt may already
+  // be in flight; the ledger must still balance.
+  EXPECT_EQ(s.transfers_completed, 0u);
+  EXPECT_EQ(s.transfers_aborted, 1u);  // ran but took no effect
+  EXPECT_EQ(s.admission_rejected, 1u);
+  EXPECT_EQ(s.transfers_started,
+            s.transfers_aborted + w->transfers_in_flight().size());
+  EXPECT_FALSE(w->node(1).buffer().has(1));
+}
+
+TEST(World, InjectRejectionRecordsLocalDropLikeGeneratedTraffic) {
+  WorldConfig cfg = fast_cfg();
+  auto w = std::make_unique<World>(cfg);
+  w->set_router(std::make_unique<SprayAndWaitRouter>());
+  w->set_policy(std::make_unique<SdsrpPolicy>());
+  w->add_node(std::make_unique<StationaryModel>(Vec2{0, 0}), 200);
+  w->add_node(std::make_unique<StationaryModel>(Vec2{500, 0}), 200);
+  // Too big to ever fit: source-side rejection.
+  EXPECT_FALSE(w->inject_message(msg(1, 0, 1, 4, 0.0, 500.0, /*size=*/300)));
+  EXPECT_EQ(w->stats().source_rejected, 1u);
+  // d̂_1 must reflect the drop exactly as if the generator had made it.
+  EXPECT_TRUE(w->node(0).has_dropped(1));
+  EXPECT_DOUBLE_EQ(w->node(0).dropped_list().count_drops(1), 1.0);
+}
+
+TEST(World, ConfigValidationRejectsBadIntervals) {
+  WorldConfig cfg = fast_cfg();
+  cfg.occupancy_sample_interval = 0.0;  // would sample every tick forever
+  EXPECT_THROW(World w(cfg), PreconditionError);
+  cfg.occupancy_sample_interval = -5.0;
+  EXPECT_THROW(World w(cfg), PreconditionError);
+  cfg = fast_cfg();
+  cfg.priority_refresh_s = -1.0;
+  EXPECT_THROW(World w(cfg), PreconditionError);
 }
 
 TEST(World, RequiresSetupBeforeNodes) {
