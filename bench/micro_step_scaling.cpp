@@ -1,0 +1,104 @@
+// Step-loop scaling microbenchmark: Table II RWP at growing fleet sizes,
+// legacy scan-based step loop vs the event-driven core (expiry/ETA heaps
+// + kinetic contact skipping), for FIFO and SDSRP. The two paths are
+// decision-identical by construction, so each (N, policy) cell also
+// compares end-of-run digests — `event_digest_matches_legacy` in the
+// JSON is the AND over every cell and is gated by CI.
+//
+//   ./micro_step_scaling [warm_s] [measure_s] [out.json]
+//
+// Writes a JSON report (default BENCH_step_scaling.json); the committed
+// copy at the repo root is produced with the default full horizons.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/config/scenario.hpp"
+
+namespace {
+
+struct RunResult {
+  double steps_per_sec = 0.0;
+  double wall_s = 0.0;
+  std::size_t delivered = 0;
+  std::uint64_t digest = 0;
+};
+
+RunResult run_one(std::size_t nodes, const std::string& policy, bool legacy,
+                  double warm_s, double measure_s) {
+  dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+  sc.n_nodes = nodes;
+  sc.policy = policy;
+  sc.world.legacy_step = legacy;
+  sc.world.duration = warm_s + measure_s;
+  auto world = dtn::build_world(sc);
+  world->run_until(warm_s);
+  const auto t0 = std::chrono::steady_clock::now();
+  world->run_until(warm_s + measure_s);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const double steps = measure_s / sc.world.step;
+  r.steps_per_sec = r.wall_s > 0.0 ? steps / r.wall_s : 0.0;
+  r.delivered = world->stats().delivered;
+  r.digest = world->digest();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double warm_s = argc > 1 ? std::strtod(argv[1], nullptr) : 300.0;
+  const double measure_s = argc > 2 ? std::strtod(argv[2], nullptr) : 1500.0;
+  const std::string out_path = argc > 3 ? argv[3] : "BENCH_step_scaling.json";
+
+  const std::vector<std::size_t> fleet_sizes{126, 500, 2000};
+  const std::vector<std::string> policies{"fifo", "sdsrp"};
+
+  std::cout << "Table II RWP step scaling, warm " << warm_s << " s, measure "
+            << measure_s << " s\n";
+
+  bool all_digests_match = true;
+  std::string rows;
+  for (const std::size_t n : fleet_sizes) {
+    for (const std::string& policy : policies) {
+      const RunResult legacy = run_one(n, policy, true, warm_s, measure_s);
+      const RunResult event = run_one(n, policy, false, warm_s, measure_s);
+      const bool match = legacy.digest == event.digest;
+      all_digests_match = all_digests_match && match;
+      const double speedup = legacy.steps_per_sec > 0.0
+                                 ? event.steps_per_sec / legacy.steps_per_sec
+                                 : 0.0;
+      std::cout << "  N=" << n << " " << policy << ": legacy "
+                << legacy.steps_per_sec << " steps/s, event "
+                << event.steps_per_sec << " steps/s, speedup " << speedup
+                << "x, digest " << (match ? "match" : "MISMATCH") << "\n";
+      if (!rows.empty()) rows += ",\n";
+      rows += "    {\"nodes\": " + std::to_string(n) + ", \"policy\": \"" +
+              policy + "\", \"legacy_steps_per_sec\": " +
+              std::to_string(legacy.steps_per_sec) +
+              ", \"event_steps_per_sec\": " +
+              std::to_string(event.steps_per_sec) +
+              ", \"speedup\": " + std::to_string(speedup) +
+              ", \"delivered\": " + std::to_string(event.delivered) +
+              ", \"digest_match\": " + (match ? "true" : "false") + "}";
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"scenario\": \"rwp-paper\",\n"
+      << "  \"warm_s\": " << warm_s << ",\n"
+      << "  \"measure_s\": " << measure_s << ",\n"
+      << "  \"results\": [\n"
+      << rows << "\n"
+      << "  ],\n"
+      << "  \"event_digest_matches_legacy\": "
+      << (all_digests_match ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return all_digests_match ? 0 : 1;
+}

@@ -58,6 +58,7 @@ Settings Scenario::to_settings() const {
   s.set("World.ackGossip", world.ack_gossip ? "true" : "false");
   s.set("World.priorityCache", world.priority_cache ? "true" : "false");
   put_d("World.priorityRefreshS", world.priority_refresh_s);
+  s.set("World.legacyStep", world.legacy_step ? "true" : "false");
   put_i("World.nodes", static_cast<std::int64_t>(n_nodes));
   put_i("World.bufferBytes", buffer_capacity);
   put_d("Traffic.intervalMin", traffic.interval_min);
@@ -106,6 +107,8 @@ Scenario Scenario::from_settings(const Settings& s) {
       s.get_bool_or("World.priorityCache", sc.world.priority_cache);
   sc.world.priority_refresh_s =
       s.get_double_or("World.priorityRefreshS", sc.world.priority_refresh_s);
+  sc.world.legacy_step =
+      s.get_bool_or("World.legacyStep", sc.world.legacy_step);
   sc.n_nodes = static_cast<std::size_t>(
       s.get_int_or("World.nodes", static_cast<std::int64_t>(sc.n_nodes)));
   sc.buffer_capacity = s.get_int_or("World.bufferBytes", sc.buffer_capacity);

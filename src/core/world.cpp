@@ -1,6 +1,8 @@
 #include "src/core/world.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <tuple>
 
 #include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
@@ -36,7 +38,35 @@ NodeId World::add_node(MobilityPtr mobility, std::int64_t buffer_capacity,
   nodes_.push_back(std::make_unique<Node>(id, std::move(mobility),
                                           buffer_capacity, router_.get(),
                                           policy_.get(), est_cfg));
+  outgoing_.push_back(-1);
+  kinetics_configured_ = false;  // fleet speed bound may have changed
   return id;
+}
+
+bool World::expiry_after(const ExpiryEvent& a, const ExpiryEvent& b) {
+  return std::tie(a.expiry, a.node, a.msg) > std::tie(b.expiry, b.node, b.msg);
+}
+
+bool World::eta_after(const EtaEvent& a, const EtaEvent& b) {
+  return std::tie(a.eta, a.from, a.seq) > std::tie(b.eta, b.from, b.seq);
+}
+
+void World::push_expiry(NodeId node_id, SimTime expiry, MessageId msg) {
+  expiry_heap_.push_back(ExpiryEvent{expiry, node_id, msg});
+  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(), &expiry_after);
+}
+
+void World::configure_kinetics() {
+  kinetics_configured_ = true;
+  if (cfg_.legacy_step) {
+    tracker_.set_motion_bound(-1.0);  // full contact pass every step
+    return;
+  }
+  double v_max = 0.0;
+  for (const auto& n : nodes_) {
+    v_max = std::max(v_max, n->mobility().max_speed());
+  }
+  tracker_.set_motion_bound(std::isfinite(v_max) ? v_max * cfg_.step : -1.0);
 }
 
 void World::enable_traffic(const MessageGenConfig& cfg, std::uint64_t seed) {
@@ -75,13 +105,14 @@ void World::advance_mobility() {
 
 void World::step() {
   DTN_REQUIRE(nodes_.size() >= 2, "World: need at least two nodes to run");
+  if (!kinetics_configured_) configure_kinetics();
   now_ += cfg_.step;
   advance_mobility();
 
-  std::vector<Vec2> positions;
-  positions.reserve(nodes_.size());
-  for (const auto& n : nodes_) positions.push_back(n->mobility().position());
-  const ContactChurn churn = tracker_.update(positions);
+  positions_.clear();
+  positions_.reserve(nodes_.size());
+  for (const auto& n : nodes_) positions_.push_back(n->mobility().position());
+  const ContactChurn& churn = tracker_.update(positions_);
 
   for (const NodePair& p : churn.went_down) process_link_down(p);
   for (const NodePair& p : churn.went_up) process_link_up(p);
@@ -150,45 +181,77 @@ void World::process_link_up(const NodePair& p) {
   notify([&p, this](WorldObserver& o) { o.on_link_up(p, now_); });
 }
 
-void World::abort_transfers_on(const NodePair& p) {
-  for (auto it = transfers_.begin(); it != transfers_.end();) {
-    const NodePair tp = make_pair_sorted(it->from, it->to);
-    if (tp == p) {
-      Node& from = node(it->from);
-      Node& to = node(it->to);
-      from.unpin(it->msg);
-      from.set_radio_busy(false);
-      to.set_radio_busy(false);
-      ++stats_.transfers_aborted;
-      const Transfer aborted = *it;
-      notify([&aborted](WorldObserver& o) { o.on_transfer_aborted(aborted); });
-      it = transfers_.erase(it);
-    } else {
-      ++it;
-    }
+void World::remove_transfer(NodeId from_id) {
+  const std::int64_t idx = outgoing_[from_id];
+  DTN_REQUIRE(idx >= 0, "remove_transfer: sender has no outgoing transfer");
+  const auto i = static_cast<std::size_t>(idx);
+  const std::size_t last = transfers_.size() - 1;
+  if (i != last) {
+    transfers_[i] = transfers_[last];
+    outgoing_[transfers_[i].from] = static_cast<std::int64_t>(i);
   }
+  transfers_.pop_back();
+  outgoing_[from_id] = -1;
+}
+
+void World::abort_transfers_on(const NodePair& p) {
+  // A pair carries at most one transfer (both radios are busy while it
+  // runs), so two directional probes cover every case.
+  abort_transfer_from(static_cast<NodeId>(p.first),
+                      static_cast<NodeId>(p.second));
+  abort_transfer_from(static_cast<NodeId>(p.second),
+                      static_cast<NodeId>(p.first));
+}
+
+void World::abort_transfer_from(NodeId from_id, NodeId to_id) {
+  const std::int64_t idx = outgoing_[from_id];
+  if (idx < 0) return;
+  const Transfer t = transfers_[static_cast<std::size_t>(idx)];
+  if (t.to != to_id) return;
+  Node& from = node(t.from);
+  Node& to = node(t.to);
+  from.unpin(t.msg);
+  from.set_radio_busy(false);
+  to.set_radio_busy(false);
+  ++stats_.transfers_aborted;
+  notify([&t](WorldObserver& o) { o.on_transfer_aborted(t); });
+  // The ETA heap entry becomes a tombstone: its seq no longer resolves.
+  remove_transfer(t.from);
 }
 
 void World::complete_due_transfers() {
-  // Completion order: by eta, then sender id — deterministic.
-  std::vector<std::size_t> due;
-  for (std::size_t i = 0; i < transfers_.size(); ++i) {
-    if (transfers_[i].eta <= now_ + 1e-9) due.push_back(i);
+  if (cfg_.legacy_step) {
+    // Completion order: by eta, then sender id — deterministic.
+    std::vector<Transfer> due;
+    for (const Transfer& t : transfers_) {
+      if (t.eta <= now_ + 1e-9) due.push_back(t);
+    }
+    std::sort(due.begin(), due.end(), [](const Transfer& a, const Transfer& b) {
+      if (a.eta != b.eta) return a.eta < b.eta;
+      return a.from < b.from;
+    });
+    for (const Transfer& t : due) remove_transfer(t.from);
+    for (const Transfer& t : due) handle_completion(t);
+    return;
   }
-  std::sort(due.begin(), due.end(), [this](std::size_t a, std::size_t b) {
-    if (transfers_[a].eta != transfers_[b].eta)
-      return transfers_[a].eta < transfers_[b].eta;
-    return transfers_[a].from < transfers_[b].from;
-  });
-  std::vector<Transfer> done;
-  done.reserve(due.size());
-  for (std::size_t i : due) done.push_back(transfers_[i]);
-  // Erase completed entries (descending index).
-  std::sort(due.rbegin(), due.rend());
-  for (std::size_t i : due) {
-    transfers_.erase(transfers_.begin() + static_cast<std::ptrdiff_t>(i));
+  // Event-driven path: drain the ETA heap, which pops in exactly the
+  // legacy (eta, from) order. Stale entries — transfers aborted since
+  // they were scheduled — fail the seq check and are discarded.
+  // Interleaving removal with handling is equivalent to the legacy
+  // remove-all-then-handle: a completion handler never reads other
+  // in-flight transfers, and pinned sender copies are eviction-immune.
+  while (!eta_heap_.empty() && eta_heap_.front().eta <= now_ + 1e-9) {
+    std::pop_heap(eta_heap_.begin(), eta_heap_.end(), &eta_after);
+    const EtaEvent e = eta_heap_.back();
+    eta_heap_.pop_back();
+    const std::int64_t idx = outgoing_[e.from];
+    if (idx < 0 || transfers_[static_cast<std::size_t>(idx)].seq != e.seq) {
+      continue;  // tombstone
+    }
+    const Transfer t = transfers_[static_cast<std::size_t>(idx)];
+    remove_transfer(e.from);
+    handle_completion(t);
   }
-  for (const Transfer& t : done) handle_completion(t);
 }
 
 void World::handle_completion(const Transfer& t) {
@@ -261,6 +324,7 @@ void World::handle_completion(const Transfer& t) {
   }
   Message relay = router_->make_relay_copy(*copy, now_);
   const MessageId id = relay.id;
+  const SimTime relay_expiry = relay.expiry();
   const Message* view =
       router_->rate_newcomer_as_sender_copy() ? copy : nullptr;
   Node::AdmitResult res = to.admit(std::move(relay), ctx_for(to), view);
@@ -277,6 +341,7 @@ void World::handle_completion(const Transfer& t) {
   ++stats_.transfers_completed;
   notify([&t](WorldObserver& o) { o.on_transfer_completed(t, false); });
   registry_.on_copy_received(id, t.to);
+  if (!cfg_.legacy_step) push_expiry(t.to, relay_expiry, id);
   for (const Message& ev : res.evicted) handle_drop(to, ev);
   const bool keep = router_->on_sent(*copy, /*delivered=*/false, now_);
   // on_sent halves/decrements the sender's copy tokens and appends the
@@ -293,6 +358,7 @@ void World::generate_traffic() {
     ++stats_.created;
     const MessageId id = m.id;
     const NodeId src = m.source;
+    const SimTime expiry = m.expiry();
     registry_.on_created(id, src);
     notify([&m, this](WorldObserver& o) { o.on_message_created(m, now_); });
     Node& source = node(src);
@@ -303,18 +369,51 @@ void World::generate_traffic() {
       if (policy_->uses_dropped_list()) source.record_drop(id, now_);
       continue;
     }
+    if (!cfg_.legacy_step) push_expiry(src, expiry, id);
     for (const Message& ev : res.evicted) handle_drop(source, ev);
   }
 }
 
 void World::purge_ttl() {
-  for (auto& n : nodes_) {
-    for (const Message& dead : n->buffer().purge_expired(now_, n->pinned())) {
-      n->priority_cache().invalidate(dead.id);
-      registry_.on_copy_removed(dead.id, n->id(), /*dropped=*/false);
-      ++stats_.ttl_expired;
-      notify([&](WorldObserver& o) { o.on_ttl_expired(n->id(), dead, now_); });
+  if (cfg_.legacy_step) {
+    for (auto& n : nodes_) {
+      for (const Message& dead :
+           n->buffer().purge_expired(now_, n->pinned())) {
+        n->priority_cache().invalidate(dead.id);
+        registry_.on_copy_removed(dead.id, n->id(), /*dropped=*/false);
+        ++stats_.ttl_expired;
+        notify(
+            [&](WorldObserver& o) { o.on_ttl_expired(n->id(), dead, now_); });
+      }
     }
+    return;
+  }
+  // Event-driven path: only due entries are touched. A popped entry may
+  // be stale (the copy was dropped, forwarded away or already purged —
+  // lazy invalidation) or pinned by an in-flight transfer (the legacy
+  // scan skips those too; re-queue and retry next step). Per-step purge
+  // *order* differs from the legacy per-node scan, but every removal
+  // lands in order-insensitive state (buffer membership, registry sets,
+  // counters), so the end-of-step digest is identical.
+  expiry_deferred_.clear();
+  while (!expiry_heap_.empty() && expiry_heap_.front().expiry <= now_) {
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), &expiry_after);
+    const ExpiryEvent e = expiry_heap_.back();
+    expiry_heap_.pop_back();
+    Node& n = *nodes_[e.node];
+    if (!n.buffer().has(e.msg)) continue;  // stale entry
+    if (n.is_pinned(e.msg)) {
+      expiry_deferred_.push_back(e);
+      continue;
+    }
+    const Message dead = n.buffer().take(e.msg);
+    n.priority_cache().invalidate(e.msg);
+    registry_.on_copy_removed(e.msg, e.node, /*dropped=*/false);
+    ++stats_.ttl_expired;
+    notify([&](WorldObserver& o) { o.on_ttl_expired(e.node, dead, now_); });
+  }
+  for (const ExpiryEvent& e : expiry_deferred_) {
+    push_expiry(e.node, e.expiry, e.msg);
   }
 }
 
@@ -365,7 +464,13 @@ void World::try_start(NodeId from_id, NodeId to_id) {
   t.msg = *msg;
   t.started = now_;
   t.eta = now_ + static_cast<double>(copy->size) / cfg_.bandwidth;
+  t.seq = transfer_seq_++;
+  outgoing_[from_id] = static_cast<std::int64_t>(transfers_.size());
   transfers_.push_back(t);
+  if (!cfg_.legacy_step) {
+    eta_heap_.push_back(EtaEvent{t.eta, t.from, t.seq});
+    std::push_heap(eta_heap_.begin(), eta_heap_.end(), &eta_after);
+  }
   ++stats_.transfers_started;
   notify([&t](WorldObserver& o) { o.on_transfer_started(t); });
 }
@@ -381,6 +486,7 @@ bool World::inject_message(Message m) {
   ++stats_.created;
   const MessageId id = m.id;
   const NodeId src = m.source;
+  const SimTime expiry = m.expiry();
   DTN_REQUIRE(src < nodes_.size(), "inject: source out of range");
   registry_.on_created(id, src);
   notify([&m, this](WorldObserver& o) { o.on_message_created(m, now_); });
@@ -394,6 +500,7 @@ bool World::inject_message(Message m) {
     if (policy_->uses_dropped_list()) source.record_drop(id, now_);
     return false;
   }
+  if (!cfg_.legacy_step) push_expiry(src, expiry, id);
   for (const Message& ev : res.evicted) handle_drop(source, ev);
   return true;
 }
@@ -464,8 +571,19 @@ void World::save_state(snapshot::ArchiveWriter& out) const {
   out.u64(nodes_.size());
   for (const auto& n : nodes_) n->save_state(out);
   tracker_.save_state(out);
+  // Transfers are stored unordered (swap-pop removal); serialize sorted
+  // by sender — unique per the radio-serialization invariant — so the
+  // bytes depend only on simulation state, not removal history, and the
+  // legacy and event-driven paths hash identically. `seq` is derived
+  // bookkeeping and is reassigned on load.
   out.u64(transfers_.size());
-  for (const Transfer& t : transfers_) {
+  std::vector<std::size_t> order(transfers_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return transfers_[a].from < transfers_[b].from;
+  });
+  for (std::size_t i : order) {
+    const Transfer& t = transfers_[i];
     out.u32(t.from);
     out.u32(t.to);
     out.u64(t.msg);
@@ -549,6 +667,38 @@ void World::load_state(snapshot::ArchiveReader& in) {
     idle_memo_[std::make_pair(a, b)] = m;
   }
   in.end_section();
+  rebuild_event_queues();
+}
+
+void World::rebuild_event_queues() {
+  // The heaps are derived state: every live obligation is recoverable
+  // from the restored buffers and transfer list, and the rebuilt heaps
+  // are decision-equivalent to the originals — stale tombstones only
+  // ever cause pops to be skipped, and pop order is defined by the
+  // (strict, total) comparator key, not by heap layout.
+  outgoing_.assign(nodes_.size(), -1);
+  transfer_seq_ = 0;
+  eta_heap_.clear();
+  for (std::size_t i = 0; i < transfers_.size(); ++i) {
+    Transfer& t = transfers_[i];
+    t.seq = transfer_seq_++;
+    DTN_REQUIRE(t.from < nodes_.size() && outgoing_[t.from] < 0,
+                "load_state: duplicate sender among in-flight transfers");
+    outgoing_[t.from] = static_cast<std::int64_t>(i);
+    if (!cfg_.legacy_step) {
+      eta_heap_.push_back(EtaEvent{t.eta, t.from, t.seq});
+    }
+  }
+  std::make_heap(eta_heap_.begin(), eta_heap_.end(), &eta_after);
+  expiry_heap_.clear();
+  if (!cfg_.legacy_step) {
+    for (const auto& n : nodes_) {
+      for (const Message& m : n->buffer().messages()) {
+        expiry_heap_.push_back(ExpiryEvent{m.expiry(), n->id(), m.id});
+      }
+    }
+  }
+  std::make_heap(expiry_heap_.begin(), expiry_heap_.end(), &expiry_after);
 }
 
 std::uint64_t World::digest() const {

@@ -52,6 +52,13 @@ struct WorldConfig {
   /// of TTL-decay staleness for the hot-path speedup. The quantum also
   /// bounds how long an idle contact pair may be skipped outright.
   double priority_refresh_s = 15.0;
+  /// Escape hatch: run the original scan-based step loop (full-buffer TTL
+  /// scans, transfer-vector scans, a full contact pass every step)
+  /// instead of the event-driven core (DESIGN.md §9: expiry/ETA heaps +
+  /// kinetic contact skipping). Both paths are decision-identical —
+  /// `World::digest()` trajectories match bit-for-bit — so this exists
+  /// for the equivalence tests and benchmarks, not as a feature switch.
+  bool legacy_step = false;
 };
 
 /// An in-flight message transmission.
@@ -61,6 +68,10 @@ struct Transfer {
   MessageId msg = 0;
   SimTime started = 0.0;
   SimTime eta = 0.0;
+  /// In-run creation order; identifies this transfer in the completion
+  /// heap (an aborted transfer leaves a stale heap entry whose seq no
+  /// longer matches). Derived state: not serialized, reassigned on load.
+  std::uint64_t seq = 0;
 };
 
 class World {
@@ -128,10 +139,31 @@ class World {
   std::uint64_t digest() const;
 
  private:
+  /// A scheduled TTL expiry (event-driven purge). Entries are lazily
+  /// invalidated: a message that was dropped, forwarded away or purged
+  /// leaves a stale entry that is discarded when popped.
+  struct ExpiryEvent {
+    SimTime expiry = 0.0;
+    NodeId node = kNoNode;
+    MessageId msg = 0;
+  };
+  /// A scheduled transfer completion. Valid while `outgoing_[from]`
+  /// points at a transfer with the same seq (aborts tombstone entries).
+  struct EtaEvent {
+    SimTime eta = 0.0;
+    NodeId from = kNoNode;
+    std::uint64_t seq = 0;
+  };
+  /// Min-heap comparators (std::push_heap et al. expect "less", so these
+  /// order *after*); ties break on the full key for determinism.
+  static bool expiry_after(const ExpiryEvent& a, const ExpiryEvent& b);
+  static bool eta_after(const EtaEvent& a, const EtaEvent& b);
+
   void advance_mobility();
   void process_link_down(const NodePair& p);
   void process_link_up(const NodePair& p);
   void abort_transfers_on(const NodePair& p);
+  void abort_transfer_from(NodeId from, NodeId to);
   void complete_due_transfers();
   void handle_completion(const Transfer& t);
   void generate_traffic();
@@ -142,6 +174,16 @@ class World {
   void sample_occupancy();
   /// ACK gossip: removes unpinned copies of known-delivered messages.
   void purge_acked(Node& n);
+  /// Computes the fleet-wide per-step motion bound from the mobility
+  /// models and hands it to the contact tracker (once, lazily, on the
+  /// first step — all nodes exist by then).
+  void configure_kinetics();
+  /// Swap-pop removal of `from`'s outgoing transfer, keeping the
+  /// `outgoing_` index consistent. O(1); vector order is not meaningful.
+  void remove_transfer(NodeId from);
+  void push_expiry(NodeId node, SimTime expiry, MessageId msg);
+  /// Reconstructs outgoing_/heaps/seqs from restored transfers+buffers.
+  void rebuild_event_queues();
 
   template <typename Fn>
   void notify(Fn&& fn) {
@@ -169,11 +211,24 @@ class World {
   std::unique_ptr<BufferPolicy> policy_;
   std::vector<std::unique_ptr<Node>> nodes_;
   ContactTracker tracker_;
+  /// Active transfers, unordered (swap-pop removal). At most one per
+  /// sender — try_start serializes on the radio — so `outgoing_` below
+  /// indexes this vector by sender id. Serialization sorts by sender so
+  /// archives and digests do not depend on removal history.
   std::vector<Transfer> transfers_;
   std::unique_ptr<MessageGenerator> gen_;
   GlobalRegistry registry_;
   SimStats stats_;
   SimTime next_occupancy_sample_ = 0.0;
+
+  // --- event-driven core (DESIGN.md §9) ---
+  std::vector<std::int64_t> outgoing_;  ///< node id -> transfers_ index | -1
+  std::uint64_t transfer_seq_ = 0;
+  std::vector<EtaEvent> eta_heap_;        ///< min-heap on (eta, from, seq)
+  std::vector<ExpiryEvent> expiry_heap_;  ///< min-heap (expiry, node, msg)
+  std::vector<ExpiryEvent> expiry_deferred_;  ///< purge scratch (pinned)
+  std::vector<Vec2> positions_;               ///< step scratch, reused
+  bool kinetics_configured_ = false;
 
   /// Keyed by the *directional* (from, to) pair, unlike the sorted
   /// NodePair convention elsewhere. std::map for deterministic

@@ -11,6 +11,13 @@ SpatialGrid::SpatialGrid(double cell) : cell_(cell) {
   DTN_REQUIRE(cell > 0.0, "SpatialGrid: cell size must be positive");
 }
 
+void SpatialGrid::set_cell(double cell) {
+  DTN_REQUIRE(cell > 0.0, "SpatialGrid: cell size must be positive");
+  if (cell == cell_) return;
+  cell_ = cell;
+  rebuild_index();
+}
+
 SpatialGrid::CellKey SpatialGrid::key_of(Vec2 p) const {
   const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
   const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
@@ -18,40 +25,79 @@ SpatialGrid::CellKey SpatialGrid::key_of(Vec2 p) const {
 }
 
 void SpatialGrid::rebuild(const std::vector<Vec2>& positions) {
-  positions_ = positions;
-  cells_.clear();
-  cells_.reserve(positions.size());
+  positions_ = positions;  // vector assign: reuses capacity, no realloc
+  rebuild_index();
+}
+
+void SpatialGrid::rebuild_index() {
+  slots_.resize(positions_.size());
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    cells_[key_of(positions_[i])].push_back(i);
+    slots_[i].cell = key_of(positions_[i]);
+    slots_[i].node = static_cast<std::uint32_t>(i);
   }
+  std::sort(slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
+    if (a.cell != b.cell) return a.cell < b.cell;
+    return a.node < b.node;
+  });
+  cell_keys_.clear();
+  cell_start_.clear();
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (cell_keys_.empty() || cell_keys_.back() != slots_[s].cell) {
+      cell_keys_.push_back(slots_[s].cell);
+      cell_start_.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  cell_start_.push_back(static_cast<std::uint32_t>(slots_.size()));
+}
+
+std::size_t SpatialGrid::find_cell(CellKey k) const {
+  const auto it = std::lower_bound(cell_keys_.begin(), cell_keys_.end(), k);
+  if (it == cell_keys_.end() || *it != k) return SIZE_MAX;
+  return static_cast<std::size_t>(it - cell_keys_.begin());
 }
 
 void SpatialGrid::for_each_pair_within(
     double radius,
     const std::function<void(std::size_t, std::size_t)>& fn) const {
+  for_each_pair_within(
+      radius, [&fn](std::size_t i, std::size_t j, double /*d2*/) { fn(i, j); });
+}
+
+void SpatialGrid::for_each_pair_within(
+    double radius,
+    const std::function<void(std::size_t, std::size_t, double)>& fn) const {
   DTN_REQUIRE(radius <= cell_ + 1e-9,
               "SpatialGrid: query radius exceeds cell size");
   const double r2 = radius * radius;
   // Collect candidate pairs, then emit them sorted so iteration order does
-  // not depend on unordered_map layout (determinism across libstdc++s).
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  // not depend on bucket layout (determinism across libstdc++s).
+  pair_scratch_.clear();
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     const Vec2 p = positions_[i];
     const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
     const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
     for (std::int64_t dx = -1; dx <= 1; ++dx) {
       for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        const auto it = cells_.find(key(cx + dx, cy + dy));
-        if (it == cells_.end()) continue;
-        for (std::size_t j : it->second) {
+        const std::size_t c = find_cell(key(cx + dx, cy + dy));
+        if (c == SIZE_MAX) continue;
+        for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+          const std::size_t j = slots_[s].node;
           if (j <= i) continue;
-          if (distance2(p, positions_[j]) <= r2) pairs.emplace_back(i, j);
+          const double d2 = distance2(p, positions_[j]);
+          if (d2 <= r2) {
+            pair_scratch_.push_back(PairHit{static_cast<std::uint32_t>(i),
+                                            static_cast<std::uint32_t>(j), d2});
+          }
         }
       }
     }
   }
-  std::sort(pairs.begin(), pairs.end());
-  for (const auto& [i, j] : pairs) fn(i, j);
+  std::sort(pair_scratch_.begin(), pair_scratch_.end(),
+            [](const PairHit& a, const PairHit& b) {
+              if (a.i != b.i) return a.i < b.i;
+              return a.j < b.j;
+            });
+  for (const PairHit& h : pair_scratch_) fn(h.i, h.j, h.d2);
 }
 
 std::vector<std::size_t> SpatialGrid::query(Vec2 p, double radius,
@@ -63,9 +109,10 @@ std::vector<std::size_t> SpatialGrid::query(Vec2 p, double radius,
   const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
   for (std::int64_t dx = -reach; dx <= reach; ++dx) {
     for (std::int64_t dy = -reach; dy <= reach; ++dy) {
-      const auto it = cells_.find(key(cx + dx, cy + dy));
-      if (it == cells_.end()) continue;
-      for (std::size_t j : it->second) {
+      const std::size_t c = find_cell(key(cx + dx, cy + dy));
+      if (c == SIZE_MAX) continue;
+      for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+        const std::size_t j = slots_[s].node;
         if (j == exclude) continue;
         if (distance2(p, positions_[j]) <= r2) out.push_back(j);
       }

@@ -1,12 +1,15 @@
 // Uniform spatial hash grid for O(n) radius-limited neighbor queries.
 //
 // The contact detector rebuilds the grid each movement step and enumerates
-// all node pairs within transmission range without the O(n^2) scan.
+// all node pairs within transmission range without the O(n^2) scan. The
+// index is a flat sorted (cell, node) array with a binary-searched cell
+// directory — rebuilding reuses the same buffers, so a steady-state
+// rebuild performs no heap allocation (unlike the former
+// unordered_map<cell, vector> layout, which churned buckets every step).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/geo/vec2.hpp"
@@ -18,6 +21,10 @@ class SpatialGrid {
   /// `cell` should be >= the query radius for best performance.
   explicit SpatialGrid(double cell);
 
+  /// Changes the cell size; re-buckets any current content.
+  void set_cell(double cell);
+  double cell() const { return cell_; }
+
   /// Replaces the content with `positions`; index i is the node id.
   void rebuild(const std::vector<Vec2>& positions);
 
@@ -26,6 +33,12 @@ class SpatialGrid {
   void for_each_pair_within(double radius,
                             const std::function<void(std::size_t,
                                                      std::size_t)>& fn) const;
+
+  /// As above, but also hands fn the squared distance of the pair —
+  /// callers that classify pairs by distance avoid recomputing it.
+  void for_each_pair_within(
+      double radius,
+      const std::function<void(std::size_t, std::size_t, double)>& fn) const;
 
   /// Ids of nodes within `radius` of `p` (excluding `exclude` if given).
   std::vector<std::size_t> query(Vec2 p, double radius,
@@ -40,10 +53,26 @@ class SpatialGrid {
     return (cx << 32) ^ (cy & 0xFFFFFFFFLL);
   }
   CellKey key_of(Vec2 p) const;
+  void rebuild_index();
+  /// Index into cell_keys_/cell_start_ for `k`, or npos if the cell is empty.
+  std::size_t find_cell(CellKey k) const;
+
+  struct Slot {
+    CellKey cell = 0;
+    std::uint32_t node = 0;
+  };
+  struct PairHit {
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    double d2 = 0.0;
+  };
 
   double cell_;
   std::vector<Vec2> positions_;
-  std::unordered_map<CellKey, std::vector<std::size_t>> cells_;
+  std::vector<Slot> slots_;               ///< sorted by (cell, node)
+  std::vector<CellKey> cell_keys_;        ///< distinct cells, ascending
+  std::vector<std::uint32_t> cell_start_; ///< slot ranges; size = cells + 1
+  mutable std::vector<PairHit> pair_scratch_;
 };
 
 }  // namespace dtn

@@ -33,6 +33,7 @@ class ManhattanGridModel final : public MobilityModel {
   void advance(double dt) override;
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "manhattan-grid"; }
+  double max_speed() const override { return cfg_.v_max; }
 
   /// The intersection grid coordinates the node is heading to.
   std::size_t target_ix() const { return tx_; }

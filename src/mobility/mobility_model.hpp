@@ -5,6 +5,7 @@
 // their RNG stream, so a node's trajectory is a pure function of its seed.
 #pragma once
 
+#include <limits>
 #include <memory>
 
 #include "src/geo/vec2.hpp"
@@ -28,6 +29,18 @@ class MobilityModel {
 
   /// Human-readable model name (for reports).
   virtual const char* name() const = 0;
+
+  /// Upper bound on this node's speed (m/s) over the whole run. The
+  /// contact tracker uses the fleet-wide bound to size its kinetic
+  /// contact-skipping slack (DESIGN.md §9); an unknown bound (the
+  /// default, +infinity) disables skipping but is always safe — skip
+  /// decisions are additionally validated against the actually observed
+  /// per-step displacement, so a model that momentarily exceeds its
+  /// reported bound (e.g. a scripted teleport) cannot cause a missed
+  /// contact event.
+  virtual double max_speed() const {
+    return std::numeric_limits<double>::infinity();
+  }
 
   /// Snapshot hooks: serialize/restore the model's dynamic state (position,
   /// trip target, RNG stream, ...). load_state assumes a model of the same

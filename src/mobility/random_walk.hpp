@@ -24,6 +24,7 @@ class RandomWalkModel final : public MobilityModel {
   void advance(double dt) override;
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "random-walk"; }
+  double max_speed() const override { return cfg_.v_max; }
 
   void save_state(snapshot::ArchiveWriter& out) const override;
   void load_state(snapshot::ArchiveReader& in) override;

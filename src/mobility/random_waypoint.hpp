@@ -25,6 +25,7 @@ class RandomWaypointModel final : public MobilityModel {
   void advance(double dt) override;
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "random-waypoint"; }
+  double max_speed() const override { return cfg_.v_max; }
 
   void save_state(snapshot::ArchiveWriter& out) const override;
   void load_state(snapshot::ArchiveReader& in) override;

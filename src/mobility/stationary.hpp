@@ -14,6 +14,10 @@ class StationaryModel final : public MobilityModel {
   void advance(double /*dt*/) override {}
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "stationary"; }
+  /// Stationary between scripted teleports; `move_to` jumps register as
+  /// observed displacement in the contact tracker, which forces a full
+  /// contact pass regardless of this bound.
+  double max_speed() const override { return 0.0; }
 
   /// Teleports the node (tests use this to script contact sequences).
   void move_to(Vec2 p) { pos_ = p; }

@@ -63,6 +63,7 @@ class TaxiFleetModel final : public MobilityModel {
   void advance(double dt) override;
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "taxi-fleet"; }
+  double max_speed() const override { return cfg_.v_max; }
 
   std::size_t home() const { return home_; }
 

@@ -1,6 +1,7 @@
 #include "src/mobility/trace_replay.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -59,6 +60,13 @@ TraceSet TraceSet::load(const std::string& path) {
 TraceReplayModel::TraceReplayModel(NodeTrace trace) : trace_(std::move(trace)) {
   DTN_REQUIRE(!trace_.times.empty(), "trace replay: empty trace");
   pos_ = trace_.at(0.0);
+  for (std::size_t i = 1; i < trace_.times.size(); ++i) {
+    const double span = trace_.times[i] - trace_.times[i - 1];
+    if (span <= 0.0) continue;  // instantaneous jump: not a sustained speed
+    const double d =
+        std::sqrt(distance2(trace_.points[i], trace_.points[i - 1]));
+    max_speed_ = std::max(max_speed_, d / span);
+  }
 }
 
 void TraceReplayModel::advance(double dt) {

@@ -49,6 +49,10 @@ class TraceReplayModel final : public MobilityModel {
   void advance(double dt) override;
   Vec2 position() const override { return pos_; }
   const char* name() const override { return "trace-replay"; }
+  /// Max interpolation speed over the trace's segments (computed once at
+  /// construction). Zero-duration jumps are excluded: they show up as
+  /// observed displacement in the contact tracker and force a full pass.
+  double max_speed() const override { return max_speed_; }
 
   void save_state(snapshot::ArchiveWriter& out) const override;
   void load_state(snapshot::ArchiveReader& in) override;
@@ -57,6 +61,7 @@ class TraceReplayModel final : public MobilityModel {
   NodeTrace trace_;
   double now_ = 0.0;
   Vec2 pos_;
+  double max_speed_ = 0.0;
 };
 
 }  // namespace dtn

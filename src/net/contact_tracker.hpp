@@ -3,10 +3,29 @@
 // Two nodes are "in contact" while their distance is within the radio
 // range. The tracker diffs the in-range pair set between steps and reports
 // the churn; the simulation kernel reacts by establishing/tearing links.
+//
+// Hot-path design (DESIGN.md §9): the pair sets are flat sorted vectors
+// diffed with std::set_difference into reusable buffers, so a steady-state
+// update performs no heap allocation. When a per-step motion bound is
+// configured (`set_motion_bound`), the tracker additionally skips the grid
+// rebuild on steps where the contact set is provably reproducible without
+// one. Each full grid pass runs at radius `range + slack` and splits the
+// enumerated pairs in two:
+//   * pairs within `±slack/2` of the range boundary become *watch pairs*
+//     — few in practice — whose exact contact predicate is re-evaluated
+//     against current positions every skipped step;
+//   * every other pair is at least `slack/2` (and, measured exactly, at
+//     least `budget`) away from the boundary, so it cannot change status
+//     until pairwise distances have moved by that margin. Distances move
+//     at most twice the largest single-node displacement per step; each
+//     skipped step charges that *observed* displacement (not the
+//     advertised bound — teleports self-invalidate) against the budget,
+//     and a full pass re-certifies everything once it is spent.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <set>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -34,31 +53,72 @@ struct ContactChurn {
 
 class ContactTracker {
  public:
-  /// `range`: radio range in meters (also used as the grid cell size).
+  /// `range`: radio range in meters (also the default grid cell size).
   explicit ContactTracker(double range);
 
-  /// Processes one movement step; returns the link churn. Pair lists are
-  /// sorted, so downstream processing is deterministic.
-  ContactChurn update(const std::vector<Vec2>& positions);
+  /// Configures kinetic contact skipping from a fleet-wide per-step
+  /// motion bound (meters a node can move in one update):
+  ///   * bound < 0 or non-finite — skipping disabled; every update runs a
+  ///     full grid pass at exactly `range` (the legacy behavior);
+  ///   * bound == 0 — stationary fleet; slack is `range` (maximal);
+  ///   * bound > 0 — slack is min(range, 32 * bound), i.e. full passes
+  ///     are at least ~16 steps apart while the geometry allows it.
+  /// Changing the slack invalidates the current budget (the next update
+  /// runs a full pass); calling with an unchanged bound is a no-op, so a
+  /// restored tracker keeps its checkpointed budget.
+  void set_motion_bound(double bound);
 
-  /// Pairs currently in contact (sorted).
-  const std::set<NodePair>& current() const { return current_; }
+  /// Processes one movement step; returns the link churn. Pair lists are
+  /// sorted, so downstream processing is deterministic. The returned
+  /// reference and the `current()` view stay valid until the next update.
+  const ContactChurn& update(const std::vector<Vec2>& positions);
+
+  /// Pairs currently in contact (sorted ascending).
+  const std::vector<NodePair>& current() const { return current_; }
 
   bool in_contact(std::size_t a, std::size_t b) const {
-    return current_.count(make_pair_sorted(a, b)) > 0;
+    const NodePair p = make_pair_sorted(a, b);
+    return std::binary_search(current_.begin(), current_.end(), p);
   }
 
   double range() const { return range_; }
 
-  /// Snapshot/restore of the in-contact pair set. The spatial grid is
-  /// rebuilt from scratch on the next update(), so it carries no state.
+  /// Diagnostics: how many updates ran a full grid pass vs. were skipped
+  /// on the kinetic bound.
+  std::size_t update_count() const { return updates_; }
+  std::size_t full_pass_count() const { return full_passes_; }
+
+  /// Snapshot/restore. The in-contact pair set is semantic state (hashed
+  /// into digests); the kinetic bookkeeping (slack, remaining budget,
+  /// last-seen positions) is derived-but-deterministic and is carried
+  /// only in buffered checkpoints so a restored run skips the same steps
+  /// an uninterrupted one does.
   void save_state(snapshot::ArchiveWriter& out) const;
   void load_state(snapshot::ArchiveReader& in);
 
  private:
+  /// A pair near the range boundary, re-checked exactly on skip steps.
+  struct WatchPair {
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    bool in_contact = false;  ///< classification as of the last update
+  };
+
+  void full_pass(const std::vector<Vec2>& positions);
+  void recheck_watch_pairs(const std::vector<Vec2>& positions);
+
   double range_;
+  double slack_ = 0.0;    ///< extra grid radius; 0 = skipping disabled
+  double budget_ = 0.0;   ///< remaining motion (m) before a pass is due
+  bool have_prev_ = false;
   SpatialGrid grid_;
-  std::set<NodePair> current_;
+  std::vector<NodePair> current_;  ///< sorted
+  std::vector<NodePair> next_;     ///< scratch (full pass / churn apply)
+  ContactChurn churn_;             ///< reused between updates
+  std::vector<Vec2> prev_;         ///< positions at the previous update
+  std::vector<WatchPair> watch_;   ///< sorted by (i, j)
+  std::size_t updates_ = 0;
+  std::size_t full_passes_ = 0;
 };
 
 }  // namespace dtn

@@ -29,7 +29,10 @@ namespace dtn::snapshot {
 /// version on any layout change; readers reject archives whose version
 /// they do not understand (no silent best-effort decoding).
 inline constexpr std::uint32_t kArchiveMagic = 0x534E5444u;  // "DTNS" LE
-inline constexpr std::uint32_t kArchiveVersion = 2;  // v2: priority cache
+// v3: event-driven core — contact-tracker kinetic state (slack, motion
+// budget, previous positions) in buffered checkpoints; in-flight transfers
+// serialized sorted by sender. (v2: priority cache.)
+inline constexpr std::uint32_t kArchiveVersion = 3;
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {

@@ -2,9 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
 
 #include "src/net/contact_tracker.hpp"
 #include "src/util/error.hpp"
+#include "src/util/rng.hpp"
 
 namespace dtn {
 namespace {
@@ -70,6 +74,86 @@ TEST(ContactTracker, MakePairSortedNormalizes) {
 
 TEST(ContactTracker, RejectsBadRange) {
   EXPECT_THROW(ContactTracker(0.0), PreconditionError);
+}
+
+std::vector<Vec2> random_cloud(Rng& rng, std::size_t n, double extent) {
+  std::vector<Vec2> pos;
+  pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+  }
+  return pos;
+}
+
+TEST(ContactTracker, ChurnDeterministicUnderPermutedNodeOrder) {
+  // Relabeling the nodes must relabel the churn, nothing else: same pairs
+  // (under the index mapping), and both emissions sorted. Guards against
+  // iteration order leaking from hash containers or grid bucket layout.
+  Rng rng(21);
+  const std::size_t n = 80;
+  std::vector<Vec2> pos = random_cloud(rng, n, 400.0);
+
+  // Permutation: perm[i] = new index of original node i (reversal mixes
+  // every comparison-based order).
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = n - 1 - i;
+  std::vector<Vec2> pos_perm(n);
+  for (std::size_t i = 0; i < n; ++i) pos_perm[perm[i]] = pos[i];
+
+  ContactTracker a(50.0);
+  ContactTracker b(50.0);
+  const ContactChurn& ca = a.update(pos);
+  const ContactChurn& cb = b.update(pos_perm);
+  EXPECT_TRUE(std::is_sorted(cb.went_up.begin(), cb.went_up.end()));
+
+  std::set<NodePair> mapped;
+  for (const NodePair& p : ca.went_up) {
+    mapped.insert(make_pair_sorted(perm[p.first], perm[p.second]));
+  }
+  const std::set<NodePair> got(cb.went_up.begin(), cb.went_up.end());
+  EXPECT_EQ(got, mapped);
+  EXPECT_EQ(a.current().size(), b.current().size());
+}
+
+TEST(ContactTracker, KineticSkippingMatchesDisabledTracker) {
+  // Drive a kinetic tracker and a plain one through the same random-walk
+  // trajectory; every update must report identical churn and contact
+  // sets, while the kinetic one provably skips most grid passes.
+  Rng rng(22);
+  const std::size_t n = 40;
+  const double range = 50.0;
+  const double step_dist = 1.5;  // well under range: skipping can engage
+  std::vector<Vec2> pos = random_cloud(rng, n, 600.0);
+
+  ContactTracker kinetic(range);
+  kinetic.set_motion_bound(step_dist);
+  ContactTracker plain(range);  // no motion bound: full pass every step
+
+  for (int step = 0; step < 400; ++step) {
+    const ContactChurn& ck = kinetic.update(pos);
+    const ContactChurn& cp = plain.update(pos);
+    ASSERT_EQ(ck.went_up, cp.went_up) << "step " << step;
+    ASSERT_EQ(ck.went_down, cp.went_down) << "step " << step;
+    ASSERT_EQ(kinetic.current(), plain.current()) << "step " << step;
+    for (Vec2& p : pos) {
+      const double ang = rng.uniform(0.0, 6.283185307179586);
+      p.x += step_dist * std::cos(ang);
+      p.y += step_dist * std::sin(ang);
+    }
+  }
+  EXPECT_EQ(plain.full_pass_count(), plain.update_count());
+  EXPECT_LT(kinetic.full_pass_count(), kinetic.update_count() / 2);
+}
+
+TEST(ContactTracker, StationaryFleetSkipsEverySubsequentPass) {
+  ContactTracker t(10.0);
+  t.set_motion_bound(0.0);  // stationary fleet: maximal slack
+  const std::vector<Vec2> pos{{0, 0}, {5, 0}, {100, 0}};
+  for (int i = 0; i < 50; ++i) t.update(pos);
+  EXPECT_EQ(t.update_count(), 50u);
+  EXPECT_EQ(t.full_pass_count(), 1u);
+  EXPECT_TRUE(t.in_contact(0, 1));
+  EXPECT_FALSE(t.in_contact(0, 2));
 }
 
 }  // namespace

@@ -149,5 +149,96 @@ TEST(SpatialGrid, NegativeCoordinatesWork) {
   EXPECT_EQ(pairs, 1);
 }
 
+// Brute-force oracle over all unordered pairs within `radius`.
+std::set<std::pair<std::size_t, std::size_t>> brute_pairs(
+    const std::vector<Vec2>& pos, double radius) {
+  std::set<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (distance2(pos[i], pos[j]) <= radius * radius) out.emplace(i, j);
+    }
+  }
+  return out;
+}
+
+TEST(SpatialGrid, RadiusExactlyCellSizeOnBoundaryLattice) {
+  // Nodes sit exactly on cell boundaries (multiples of the cell size) and
+  // the query radius equals the cell size exactly, so many pair distances
+  // are exactly == radius. floor() cell assignment plus the 3x3 reach must
+  // still find every boundary pair the brute force does.
+  const double cell = 25.0;
+  std::vector<Vec2> pos;
+  for (int x = -2; x <= 2; ++x) {
+    for (int y = -2; y <= 2; ++y) pos.push_back({x * cell, y * cell});
+  }
+  SpatialGrid grid(cell);
+  grid.rebuild(pos);
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  grid.for_each_pair_within(cell, [&](std::size_t i, std::size_t j) {
+    from_grid.emplace(i, j);
+  });
+  EXPECT_EQ(from_grid, brute_pairs(pos, cell));
+  // Each interior node has exactly 4 axis-neighbors at distance == cell.
+  EXPECT_EQ(from_grid.size(), 40u);  // 2 * 4 * 5 horizontal+vertical edges
+}
+
+TEST(SpatialGrid, NegativeCoordinatesMatchBruteForce) {
+  // Random cloud spanning all four quadrants: the (cx<<32)^cy key packing
+  // must keep negative cell indices distinct from positive ones.
+  Rng rng(12);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 150; ++i) {
+    pos.push_back({rng.uniform(-500, 500), rng.uniform(-500, 500)});
+  }
+  const double radius = 60.0;
+  SpatialGrid grid(radius);
+  grid.rebuild(pos);
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j) {
+    from_grid.emplace(i, j);
+  });
+  EXPECT_EQ(from_grid, brute_pairs(pos, radius));
+}
+
+TEST(SpatialGrid, DistanceReportingOverloadMatchesBruteForce) {
+  Rng rng(13);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 120; ++i) {
+    pos.push_back({rng.uniform(-200, 400), rng.uniform(-300, 100)});
+  }
+  const double radius = 45.0;
+  SpatialGrid grid(radius);
+  grid.rebuild(pos);
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  grid.for_each_pair_within(
+      radius, [&](std::size_t i, std::size_t j, double d2) {
+        EXPECT_DOUBLE_EQ(d2, distance2(pos[i], pos[j]));
+        EXPECT_LE(d2, radius * radius);
+        from_grid.emplace(i, j);
+      });
+  EXPECT_EQ(from_grid, brute_pairs(pos, radius));
+}
+
+TEST(SpatialGrid, RebuildReusesCapacityAcrossFrames) {
+  // Steady-state rebuilds must tolerate fleets growing and shrinking and
+  // nodes exactly sharing a position (same cell slot, distinct nodes).
+  SpatialGrid grid(10.0);
+  grid.rebuild({{0, 0}, {0, 0}, {3, 4}});
+  int pairs = 0;
+  grid.for_each_pair_within(10.0, [&](std::size_t, std::size_t) { ++pairs; });
+  EXPECT_EQ(pairs, 3);
+  grid.rebuild({{0, 0}});  // shrink
+  pairs = 0;
+  grid.for_each_pair_within(10.0, [&](std::size_t, std::size_t) { ++pairs; });
+  EXPECT_EQ(pairs, 0);
+  grid.rebuild({{0, 0}, {5, 0}, {100, 0}, {105, 0}});  // grow again
+  std::set<std::pair<std::size_t, std::size_t>> got;
+  grid.for_each_pair_within(10.0, [&](std::size_t i, std::size_t j) {
+    got.emplace(i, j);
+  });
+  EXPECT_EQ(got, (std::set<std::pair<std::size_t, std::size_t>>{{0, 1},
+                                                                {2, 3}}));
+}
+
 }  // namespace
 }  // namespace dtn

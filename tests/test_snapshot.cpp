@@ -289,6 +289,89 @@ TEST(SnapshotFile, RouterStateSurvivesRoundTrip) {
   EXPECT_EQ(restored.world->digest(), cold->digest());
 }
 
+// --- archive v3: event-driven core state ---
+
+TEST(SnapshotV3, SaveLandsMidTransferAndRestoresBitIdentical) {
+  // The v3 payload carries in-flight transfers (sorted by sender) and the
+  // contact tracker's kinetic bookkeeping. Pick a save point where
+  // transfers are provably in flight so the new fields are exercised, not
+  // vacuously round-tripped.
+  const Scenario sc = small_paper("rwp", "sdsrp");
+  const double half = sc.world.duration / 2.0;
+
+  auto cold = build_world(sc);
+  cold->run();
+
+  auto first = build_world(sc);
+  first->run_until(half);
+  ASSERT_FALSE(first->transfers_in_flight().empty())
+      << "save point must land mid-transfer to exercise v3 fields";
+  snapshot::ArchiveWriter out;
+  snapshot::save_world(out, sc, *first);
+  const std::uint64_t half_digest = first->digest();
+  first.reset();
+
+  snapshot::ArchiveReader in(out.bytes());
+  auto restored = snapshot::restore_world(in);
+  EXPECT_EQ(restored.world->digest(), half_digest);
+  ASSERT_FALSE(restored.world->transfers_in_flight().empty());
+  restored.world->run();
+  EXPECT_EQ(restored.world->digest(), cold->digest());
+}
+
+TEST(SnapshotV3, KineticSkipScheduleSurvivesRestore) {
+  // Digests deliberately exclude the kinetic bookkeeping (slack, budget,
+  // watch set, previous positions), so digest equality alone cannot prove
+  // it was restored. The skip *schedule* can: a restored run must execute
+  // exactly as many full grid passes over [T/2, T] as the uninterrupted
+  // run does — losing the budget or watch set on restore would force an
+  // immediate re-certification pass and shift every pass after it.
+  const Scenario sc = small_paper("rwp", "fifo");
+  const double half = sc.world.duration / 2.0;
+
+  auto cold = build_world(sc);
+  cold->run_until(half);
+  const std::size_t passes_at_half = cold->contacts().full_pass_count();
+  cold->run();
+  const std::size_t passes_second_half =
+      cold->contacts().full_pass_count() - passes_at_half;
+
+  auto first = build_world(sc);
+  first->run_until(half);
+  snapshot::ArchiveWriter out;
+  snapshot::save_world(out, sc, *first);
+  first.reset();
+
+  snapshot::ArchiveReader in(out.bytes());
+  auto restored = snapshot::restore_world(in);
+  restored.world->run();
+  EXPECT_EQ(restored.world->contacts().full_pass_count(),
+            passes_second_half);
+  EXPECT_LT(passes_second_half, restored.world->contacts().update_count());
+}
+
+TEST(SnapshotV3, LegacyStepModeRoundTrips) {
+  Scenario sc = small_paper("taxi", "sdsrp");
+  sc.world.legacy_step = true;
+  const double half = sc.world.duration / 2.0;
+
+  auto cold = build_world(sc);
+  cold->run();
+
+  auto first = build_world(sc);
+  first->run_until(half);
+  snapshot::ArchiveWriter out;
+  snapshot::save_world(out, sc, *first);
+  first.reset();
+
+  snapshot::ArchiveReader in(out.bytes());
+  auto restored = snapshot::restore_world(in);
+  restored.world->run();
+  EXPECT_EQ(restored.world->digest(), cold->digest());
+  EXPECT_EQ(restored.world->contacts().full_pass_count(),
+            restored.world->contacts().update_count());
+}
+
 // --- digest determinism regression ---
 
 TEST(Digest, SameSeedSameDigestTrajectory) {
