@@ -98,6 +98,13 @@ std::unique_ptr<World> build_world(const Scenario& sc) {
                     sc.buffer_capacity, sc.estimator);
   }
   world->enable_traffic(sc.traffic, master.fork(0xA11CE).next_u64());
+  // The fault stream forks with a tag no other consumer uses (0xB0,
+  // node index + 1, 0xA11CE above; this one sits far above any node
+  // count), so toggling faults never perturbs policy, mobility or
+  // traffic randomness.
+  if (sc.fault.enabled) {
+    world->enable_faults(sc.fault, master.fork(0xFA00FA).next_u64());
+  }
   return world;
 }
 

@@ -72,6 +72,16 @@ Settings Scenario::to_settings() const {
   put_d("Mobility.areaHeight", rwp.area.height());
   put_d("Mobility.vMin", rwp.v_min);
   put_d("Mobility.vMax", rwp.v_max);
+  s.set("Fault.enabled", fault.enabled ? "true" : "false");
+  put_d("Fault.churnFraction", fault.churn_fraction);
+  put_d("Fault.meanUpS", fault.mean_up_s);
+  put_d("Fault.meanDownS", fault.mean_down_s);
+  s.set("Fault.rebootPurge", fault.reboot_purge ? "true" : "false");
+  put_d("Fault.linkAbortRatePerHour", fault.link_abort_rate_per_hour);
+  put_d("Fault.degradeRatePerHour", fault.degrade_rate_per_hour);
+  put_d("Fault.degradeDurationS", fault.degrade_duration_s);
+  put_d("Fault.degradeRangeFactor", fault.degrade_range_factor);
+  put_d("Fault.degradeBitrateFactor", fault.degrade_bitrate_factor);
   s.set("Router.name", router);
   s.set("Policy.name", policy);
   put_i("Policy.sdsrpTaylorTerms",
@@ -135,6 +145,25 @@ Scenario Scenario::from_settings(const Settings& s) {
   sc.walk.v_max = sc.rwp.v_max;
   sc.direction.v_min = sc.rwp.v_min;
   sc.direction.v_max = sc.rwp.v_max;
+  sc.fault.enabled = s.get_bool_or("Fault.enabled", sc.fault.enabled);
+  sc.fault.churn_fraction =
+      s.get_double_or("Fault.churnFraction", sc.fault.churn_fraction);
+  sc.fault.mean_up_s = s.get_double_or("Fault.meanUpS", sc.fault.mean_up_s);
+  sc.fault.mean_down_s =
+      s.get_double_or("Fault.meanDownS", sc.fault.mean_down_s);
+  sc.fault.reboot_purge =
+      s.get_bool_or("Fault.rebootPurge", sc.fault.reboot_purge);
+  sc.fault.link_abort_rate_per_hour = s.get_double_or(
+      "Fault.linkAbortRatePerHour", sc.fault.link_abort_rate_per_hour);
+  sc.fault.degrade_rate_per_hour = s.get_double_or(
+      "Fault.degradeRatePerHour", sc.fault.degrade_rate_per_hour);
+  sc.fault.degrade_duration_s =
+      s.get_double_or("Fault.degradeDurationS", sc.fault.degrade_duration_s);
+  sc.fault.degrade_range_factor = s.get_double_or(
+      "Fault.degradeRangeFactor", sc.fault.degrade_range_factor);
+  sc.fault.degrade_bitrate_factor = s.get_double_or(
+      "Fault.degradeBitrateFactor", sc.fault.degrade_bitrate_factor);
+  sc.fault.validate();
   sc.router = s.get_string_or("Router.name", sc.router);
   sc.policy = s.get_string_or("Policy.name", sc.policy);
   sc.sdsrp_taylor_terms = static_cast<std::size_t>(s.get_int_or(

@@ -45,6 +45,9 @@ struct Scenario {
   /// copies-ratio | mofo | sdsrp | sdsrp-oracle | gbsd.
   std::string policy = "sdsrp";
 
+  /// Fault injection (`Fault.*` keys); inert by default.
+  FaultConfig fault;
+
   NodeEstimatorConfig estimator;
   std::size_t sdsrp_taylor_terms = 0;  ///< 0 = closed-form Eq. 10
   bool sdsrp_anchor_last_spray = true; ///< Eq. 15 t_n anchoring

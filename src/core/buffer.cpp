@@ -104,7 +104,13 @@ void Buffer::load_state(snapshot::ArchiveReader& in) {
   const std::int64_t capacity = in.i64();
   DTN_REQUIRE(capacity == capacity_,
               "buffer: snapshot capacity does not match this world");
-  revision_ = in.u64();
+  if (in.version() >= 2) {
+    revision_ = in.u64();
+  } else {
+    // v1 predates the counter; restart it. Every revision-keyed memo is
+    // also cleared on load, so nothing holds a stale revision.
+    revision_ = 0;
+  }
   messages_.clear();
   used_ = 0;
   const std::uint64_t n = in.u64();

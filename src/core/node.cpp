@@ -138,7 +138,13 @@ void Node::load_state(snapshot::ArchiveReader& in) {
   pinned_.reserve(n_pinned);
   for (std::uint64_t i = 0; i < n_pinned; ++i) pinned_.push_back(in.u64());
   radio_busy_ = in.boolean();
-  prio_cache_.load_state(in);
+  if (in.version() >= 2) {
+    prio_cache_.load_state(in);
+  } else {
+    // v1 predates the priority cache: start cold (epoch/stamp at their
+    // construction values; priorities recompute on first use).
+    prio_cache_.clear_transient();
+  }
   in.end_section();
 }
 

@@ -17,6 +17,9 @@ void SimStats::save_state(snapshot::ArchiveWriter& out) const {
   out.u64(ttl_expired);
   out.u64(source_rejected);
   out.u64(ack_purged);
+  out.f64(downtime_s);
+  out.u64(faulted_aborts);
+  out.u64(reboot_purged);
   snapshot::write_running_stats(out, hopcounts);
   snapshot::write_running_stats(out, latency);
   snapshot::write_running_stats(out, buffer_occupancy);
@@ -36,6 +39,15 @@ void SimStats::load_state(snapshot::ArchiveReader& in) {
   ttl_expired = static_cast<std::size_t>(in.u64());
   source_rejected = static_cast<std::size_t>(in.u64());
   ack_purged = static_cast<std::size_t>(in.u64());
+  if (in.version() >= 4) {
+    downtime_s = in.f64();
+    faulted_aborts = static_cast<std::size_t>(in.u64());
+    reboot_purged = static_cast<std::size_t>(in.u64());
+  } else {
+    downtime_s = 0.0;  // pre-fault archive: the counters never moved
+    faulted_aborts = 0;
+    reboot_purged = 0;
+  }
   snapshot::read_running_stats(in, hopcounts);
   snapshot::read_running_stats(in, latency);
   snapshot::read_running_stats(in, buffer_occupancy);

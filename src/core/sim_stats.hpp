@@ -26,6 +26,13 @@ struct SimStats {
   std::size_t source_rejected = 0;      ///< new message refused at creation
   std::size_t ack_purged = 0;           ///< copies removed by ACK gossip
 
+  // Fault injection (zero unless a FaultPlan is active).
+  /// Completed outage seconds, summed over reboots (a node still down at
+  /// the end of the run contributes nothing).
+  double downtime_s = 0.0;
+  std::size_t faulted_aborts = 0;  ///< aborts caused by the fault layer
+  std::size_t reboot_purged = 0;   ///< copies lost to Fault.rebootPurge
+
   RunningStats hopcounts;         ///< hops of each first delivery
   RunningStats latency;           ///< creation->delivery delay (s)
   RunningStats buffer_occupancy;  ///< sampled occupancy in [0,1]

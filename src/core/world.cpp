@@ -73,6 +73,14 @@ void World::enable_traffic(const MessageGenConfig& cfg, std::uint64_t seed) {
   gen_ = std::make_unique<MessageGenerator>(cfg, nodes_.size(), Rng(seed));
 }
 
+void World::enable_faults(const FaultConfig& cfg, std::uint64_t seed) {
+  DTN_REQUIRE(!nodes_.empty(), "enable_faults: add nodes first");
+  DTN_REQUIRE(now_ == 0.0, "enable_faults: call before running");
+  cfg.validate();
+  if (!cfg.any_active()) return;  // inert: keep the fault-free hot path
+  fault_ = std::make_unique<FaultPlan>(cfg, nodes_.size(), seed);
+}
+
 void World::add_observer(WorldObserver* observer) {
   DTN_REQUIRE(observer != nullptr, "add_observer: null observer");
   observers_.push_back(observer);
@@ -114,8 +122,18 @@ void World::step() {
   for (const auto& n : nodes_) positions_.push_back(n->mobility().position());
   const ContactChurn& churn = tracker_.update(positions_);
 
-  for (const NodePair& p : churn.went_down) process_link_down(p);
-  for (const NodePair& p : churn.went_up) process_link_up(p);
+  if (fault_ == nullptr) {
+    for (const NodePair& p : churn.went_down) process_link_down(p);
+    for (const NodePair& p : churn.went_up) process_link_up(p);
+  } else {
+    // Fault events land first so the availability flags are current for
+    // this step; the live-set diff then replaces the raw tracker churn —
+    // geometric and fault-induced link changes flow through the same
+    // process_link_down/up handlers, in the same sorted order, in both
+    // step modes, so legacy parity is structural.
+    apply_fault_events();
+    refresh_live_contacts();
+  }
 
   complete_due_transfers();
   if (gen_ != nullptr) generate_traffic();
@@ -134,6 +152,139 @@ void World::run_until(SimTime t) {
 }
 
 void World::run() { run_until(cfg_.duration); }
+
+void World::apply_fault_events() {
+  FaultPlan::Event e;
+  while (fault_->pop_due(now_, &e)) {
+    switch (e.kind) {
+      case FaultPlan::Kind::kNodeDown:
+        // Immediate abort (not deferred to the live-set diff) so even a
+        // down+up pair landing within one step kills the transfer.
+        abort_faulted_transfer_of(e.node);
+        break;
+      case FaultPlan::Kind::kNodeUp:
+        stats_.downtime_s += e.down_duration;
+        if (fault_->config().reboot_purge) purge_on_reboot(node(e.node));
+        break;
+      case FaultPlan::Kind::kLinkAbort:
+        if (!transfers_.empty()) {
+          // Uniform pick in sender order — transfers_ itself is unordered
+          // (swap-pop), so index into a sorted view. No in-flight transfer
+          // means no RNG draw; the stream stays state-deterministic.
+          std::vector<NodeId> senders;
+          senders.reserve(transfers_.size());
+          for (const Transfer& t : transfers_) senders.push_back(t.from);
+          std::sort(senders.begin(), senders.end());
+          const NodeId from = senders[fault_->pick_index(senders.size())];
+          const Transfer t =
+              transfers_[static_cast<std::size_t>(outgoing_[from])];
+          ++stats_.faulted_aborts;
+          abort_transfer_from(t.from, t.to);
+        }
+        break;
+      case FaultPlan::Kind::kDegradeStart:
+      case FaultPlan::Kind::kDegradeEnd:
+        break;  // flags flipped in the plan; the live-set refresh reacts
+    }
+  }
+}
+
+void World::abort_faulted_transfer_of(NodeId id) {
+  // The radio serializes: a node participates in at most one transfer,
+  // as sender or receiver.
+  const std::int64_t idx = outgoing_[id];
+  if (idx >= 0) {
+    const Transfer t = transfers_[static_cast<std::size_t>(idx)];
+    ++stats_.faulted_aborts;
+    abort_transfer_from(t.from, t.to);
+    return;
+  }
+  for (const Transfer& t : transfers_) {
+    if (t.to == id) {
+      const Transfer hit = t;
+      ++stats_.faulted_aborts;
+      abort_transfer_from(hit.from, hit.to);
+      return;
+    }
+  }
+}
+
+void World::purge_on_reboot(Node& n) {
+  // The node's transfers were aborted when it went down and none started
+  // while it was severed from the live set, so nothing is pinned.
+  DTN_REQUIRE(n.pinned().empty(), "reboot purge: down node holds pins");
+  std::vector<MessageId> doomed;
+  for (const Message& m : n.buffer().messages()) doomed.push_back(m.id);
+  for (MessageId id : doomed) {
+    n.buffer().take(id);
+    n.priority_cache().invalidate(id);
+    // Not a policy drop: no record_drop, no on_drop — the storage died.
+    registry_.on_copy_removed(id, n.id(), /*dropped=*/false);
+    ++stats_.reboot_purged;
+  }
+}
+
+void World::compute_live_contacts(std::vector<NodePair>& out) const {
+  out.clear();
+  for (const NodePair& p : tracker_.current()) {
+    const auto a = static_cast<NodeId>(p.first);
+    const auto b = static_cast<NodeId>(p.second);
+    if (!fault_->is_up(a) || !fault_->is_up(b)) continue;
+    const double f =
+        std::min(fault_->range_factor(a), fault_->range_factor(b));
+    if (f < 1.0) {
+      const Vec2 pa = nodes_[a]->mobility().position();
+      const Vec2 pb = nodes_[b]->mobility().position();
+      const double dx = pa.x - pb.x;
+      const double dy = pa.y - pb.y;
+      const double r = cfg_.range * f;
+      if (dx * dx + dy * dy > r * r) continue;
+    }
+    out.push_back(p);  // subsequence of a sorted set: stays sorted
+  }
+}
+
+void World::refresh_live_contacts() {
+  compute_live_contacts(live_scratch_);
+  // Diff the sorted sets; downs first, then ups, matching the tracker
+  // churn ordering of the fault-free path.
+  auto old_it = live_contacts_.cbegin();
+  auto new_it = live_scratch_.cbegin();
+  while (old_it != live_contacts_.cend()) {
+    if (new_it != live_scratch_.cend() && *new_it < *old_it) {
+      ++new_it;
+      continue;
+    }
+    if (new_it != live_scratch_.cend() && *new_it == *old_it) {
+      ++old_it;
+      ++new_it;
+      continue;
+    }
+    const NodePair p = *old_it++;
+    // A pair still geometrically in range was severed by the fault layer;
+    // a transfer it carried is a fault-induced abort (geometric breakups
+    // abort too, but those happen in the baseline world as well).
+    if (tracker_.in_contact(p.first, p.second)) {
+      const auto a = static_cast<NodeId>(p.first);
+      const auto b = static_cast<NodeId>(p.second);
+      const std::int64_t ia = outgoing_[a];
+      const std::int64_t ib = outgoing_[b];
+      if ((ia >= 0 && transfers_[static_cast<std::size_t>(ia)].to == b) ||
+          (ib >= 0 && transfers_[static_cast<std::size_t>(ib)].to == a)) {
+        ++stats_.faulted_aborts;
+      }
+    }
+    process_link_down(p);
+  }
+  new_it = live_scratch_.cbegin();
+  for (auto it = live_contacts_.cbegin(); new_it != live_scratch_.cend();
+       ++new_it) {
+    while (it != live_contacts_.cend() && *it < *new_it) ++it;
+    if (it != live_contacts_.cend() && *it == *new_it) continue;
+    process_link_up(*new_it);
+  }
+  live_contacts_.swap(live_scratch_);
+}
 
 void World::process_link_down(const NodePair& p) {
   abort_transfers_on(p);
@@ -361,6 +512,14 @@ void World::generate_traffic() {
     const SimTime expiry = m.expiry();
     registry_.on_created(id, src);
     notify([&m, this](WorldObserver& o) { o.on_message_created(m, now_); });
+    if (fault_ != nullptr && !fault_->is_up(src)) {
+      // The application layer produced the message (the generator's
+      // schedule is fault-independent) but the node is down: it is lost
+      // at the source. No record_drop — the policy never saw it.
+      ++stats_.source_rejected;
+      registry_.on_copy_removed(id, src, /*dropped=*/true);
+      continue;
+    }
     Node& source = node(src);
     Node::AdmitResult res = source.admit(std::move(m), ctx_for(source));
     if (!res.admitted) {
@@ -418,7 +577,7 @@ void World::purge_ttl() {
 }
 
 void World::start_transfers() {
-  for (const NodePair& p : tracker_.current()) {
+  for (const NodePair& p : active_contacts()) {
     try_start(static_cast<NodeId>(p.first), static_cast<NodeId>(p.second));
     try_start(static_cast<NodeId>(p.second), static_cast<NodeId>(p.first));
   }
@@ -463,7 +622,14 @@ void World::try_start(NodeId from_id, NodeId to_id) {
   t.to = to_id;
   t.msg = *msg;
   t.started = now_;
-  t.eta = now_ + static_cast<double>(copy->size) / cfg_.bandwidth;
+  double bandwidth = cfg_.bandwidth;
+  if (fault_ != nullptr) {
+    // Degraded endpoints throttle the link; the eta is fixed at start
+    // (a window opening or closing mid-transfer does not retime it).
+    bandwidth *= std::min(fault_->bitrate_factor(from_id),
+                          fault_->bitrate_factor(to_id));
+  }
+  t.eta = now_ + static_cast<double>(copy->size) / bandwidth;
   t.seq = transfer_seq_++;
   outgoing_[from_id] = static_cast<std::int64_t>(transfers_.size());
   transfers_.push_back(t);
@@ -490,6 +656,11 @@ bool World::inject_message(Message m) {
   DTN_REQUIRE(src < nodes_.size(), "inject: source out of range");
   registry_.on_created(id, src);
   notify([&m, this](WorldObserver& o) { o.on_message_created(m, now_); });
+  if (fault_ != nullptr && !fault_->is_up(src)) {
+    ++stats_.source_rejected;
+    registry_.on_copy_removed(id, src, /*dropped=*/true);
+    return false;  // mirror generate_traffic: a down source loses the message
+  }
   Node& source = node(src);
   Node::AdmitResult res = source.admit(std::move(m), ctx_for(source));
   if (!res.admitted) {
@@ -600,6 +771,12 @@ void World::save_state(snapshot::ArchiveWriter& out) const {
   write_pair_time_map(out, pair_up_since_);
   write_sample_vec(out, imt_samples_);
   write_sample_vec(out, contact_samples_);
+  // v4: the fault plan is semantic state (hashed into digests) — two
+  // worlds mid-outage differ even when their buffers agree. The live
+  // contact set is derived (tracker ∩ plan flags ∩ positions) and is
+  // recomputed on load.
+  out.boolean(fault_ != nullptr);
+  if (fault_ != nullptr) fault_->save_state(out);
   // The idle memo is a pure function of serialized state (same argument
   // as PriorityCache): skipped in digests, carried in checkpoints so a
   // restored run skips the same try_start calls an uninterrupted one does.
@@ -653,18 +830,29 @@ void World::load_state(snapshot::ArchiveReader& in) {
   read_pair_time_map(in, pair_up_since_);
   read_sample_vec(in, imt_samples_);
   read_sample_vec(in, contact_samples_);
+  if (in.version() >= 4) {
+    const bool has_fault = in.boolean();
+    DTN_REQUIRE(has_fault == (fault_ != nullptr),
+                "load_state: fault plan presence does not match this world");
+    if (fault_ != nullptr) fault_->load_state(in);
+  } else {
+    DTN_REQUIRE(fault_ == nullptr,
+                "load_state: pre-v4 archive cannot restore a faulty world");
+  }
   idle_memo_.clear();
-  const std::uint64_t n_memo = in.u64();
-  for (std::uint64_t i = 0; i < n_memo; ++i) {
-    const NodeId a = in.u32();
-    const NodeId b = in.u32();
-    IdleMemo m;
-    m.at = in.f64();
-    m.from_stamp = in.u64();
-    m.from_rev = in.u64();
-    m.to_stamp = in.u64();
-    m.to_rev = in.u64();
-    idle_memo_[std::make_pair(a, b)] = m;
+  if (in.version() >= 2) {
+    const std::uint64_t n_memo = in.u64();
+    for (std::uint64_t i = 0; i < n_memo; ++i) {
+      const NodeId a = in.u32();
+      const NodeId b = in.u32();
+      IdleMemo m;
+      m.at = in.f64();
+      m.from_stamp = in.u64();
+      m.from_rev = in.u64();
+      m.to_stamp = in.u64();
+      m.to_rev = in.u64();
+      idle_memo_[std::make_pair(a, b)] = m;
+    }
   }
   in.end_section();
   rebuild_event_queues();
@@ -699,6 +887,10 @@ void World::rebuild_event_queues() {
     }
   }
   std::make_heap(expiry_heap_.begin(), expiry_heap_.end(), &expiry_after);
+  // The live contact set is derived: the restored tracker pairs filtered
+  // through the restored plan flags at the restored positions reproduce
+  // exactly the set the interrupted run held.
+  if (fault_ != nullptr) compute_live_contacts(live_contacts_);
 }
 
 std::uint64_t World::digest() const {

@@ -24,6 +24,7 @@
 #include "src/core/router.hpp"
 #include "src/core/sim_stats.hpp"
 #include "src/core/types.hpp"
+#include "src/fault/fault_plan.hpp"
 #include "src/net/contact_tracker.hpp"
 #include "src/util/units.hpp"
 
@@ -86,6 +87,11 @@ class World {
                   const NodeEstimatorConfig& est_cfg = {});
   /// Enables the periodic traffic source.
   void enable_traffic(const MessageGenConfig& cfg, std::uint64_t seed);
+  /// Enables fault injection (node churn, link aborts, radio degradation).
+  /// Call after adding every node and before the first step; a validated
+  /// but inert config (no mechanism can ever fire) is a no-op, keeping
+  /// the fault-free hot path untouched.
+  void enable_faults(const FaultConfig& cfg, std::uint64_t seed);
 
   /// Registers a report observer (non-owning; must outlive the world).
   /// Observers fire in registration order.
@@ -112,6 +118,14 @@ class World {
   const std::vector<Transfer>& transfers_in_flight() const { return transfers_; }
   const Router& router() const { return *router_; }
   const BufferPolicy& policy() const { return *policy_; }
+  /// The active fault plan, or nullptr when fault injection is off.
+  const FaultPlan* faults() const { return fault_.get(); }
+  /// Links usable this step: the geometric contact set, minus pairs
+  /// severed by the fault layer (an endpoint down, or a degraded radio
+  /// whose shrunken range no longer covers the distance).
+  const std::vector<NodePair>& active_contacts() const {
+    return fault_ != nullptr ? live_contacts_ : tracker_.current();
+  }
   /// Pairwise intermeeting samples (only when collect_intermeeting).
   const std::vector<double>& intermeeting_samples() const {
     return imt_samples_;
@@ -172,6 +186,21 @@ class World {
   void try_start(NodeId from, NodeId to);
   void handle_drop(Node& n, const Message& m);
   void sample_occupancy();
+  // --- fault layer (all no-ops unless fault_ is set) ---
+  /// Drains fault events due this step and applies their side effects
+  /// (transfer aborts, downtime accounting, reboot purges).
+  void apply_fault_events();
+  /// Aborts the (at most one — the radio serializes) transfer `id`
+  /// participates in, counting it as fault-induced.
+  void abort_faulted_transfer_of(NodeId id);
+  /// Reboot with `Fault.rebootPurge`: the buffer is lost.
+  void purge_on_reboot(Node& n);
+  /// Filters the geometric contact set through node availability and
+  /// degraded radio ranges into `out`.
+  void compute_live_contacts(std::vector<NodePair>& out) const;
+  /// Recomputes the live set and turns its diff against the previous one
+  /// into link down/up events (replaces the raw tracker churn).
+  void refresh_live_contacts();
   /// ACK gossip: removes unpinned copies of known-delivered messages.
   void purge_acked(Node& n);
   /// Computes the fleet-wide per-step motion bound from the mobility
@@ -217,6 +246,11 @@ class World {
   /// archives and digests do not depend on removal history.
   std::vector<Transfer> transfers_;
   std::unique_ptr<MessageGenerator> gen_;
+  std::unique_ptr<FaultPlan> fault_;
+  /// Fault-filtered contact set (sorted; valid only when fault_ is set).
+  /// Derived state: recomputed from the tracker + plan flags on restore.
+  std::vector<NodePair> live_contacts_;
+  std::vector<NodePair> live_scratch_;
   GlobalRegistry registry_;
   SimStats stats_;
   SimTime next_occupancy_sample_ = 0.0;

@@ -167,26 +167,36 @@ void ContactTracker::load_state(snapshot::ArchiveReader& in) {
   }
   DTN_REQUIRE(std::is_sorted(current_.begin(), current_.end()),
               "contacts: snapshot pair set not sorted");
-  slack_ = in.f64();
-  budget_ = in.f64();
-  have_prev_ = in.boolean();
-  prev_.clear();
-  const std::uint64_t np = in.u64();
-  prev_.reserve(np);
-  for (std::uint64_t i = 0; i < np; ++i) {
-    const double x = in.f64();
-    const double y = in.f64();
-    prev_.push_back({x, y});
-  }
-  watch_.clear();
-  const std::uint64_t nw = in.u64();
-  watch_.reserve(nw);
-  for (std::uint64_t i = 0; i < nw; ++i) {
-    WatchPair wp;
-    wp.i = in.u32();
-    wp.j = in.u32();
-    wp.in_contact = in.boolean();
-    watch_.push_back(wp);
+  if (in.version() >= 3) {
+    slack_ = in.f64();
+    budget_ = in.f64();
+    have_prev_ = in.boolean();
+    prev_.clear();
+    const std::uint64_t np = in.u64();
+    prev_.reserve(np);
+    for (std::uint64_t i = 0; i < np; ++i) {
+      const double x = in.f64();
+      const double y = in.f64();
+      prev_.push_back({x, y});
+    }
+    watch_.clear();
+    const std::uint64_t nw = in.u64();
+    watch_.reserve(nw);
+    for (std::uint64_t i = 0; i < nw; ++i) {
+      WatchPair wp;
+      wp.i = in.u32();
+      wp.j = in.u32();
+      wp.in_contact = in.boolean();
+      watch_.push_back(wp);
+    }
+  } else {
+    // Pre-kinetic archive: no bookkeeping to resume. Spend the budget so
+    // the next update runs a full pass and re-certifies everything.
+    slack_ = 0.0;
+    budget_ = 0.0;
+    have_prev_ = false;
+    prev_.clear();
+    watch_.clear();
   }
   grid_.set_cell(range_ + slack_);
   in.end_section();

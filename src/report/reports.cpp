@@ -28,6 +28,15 @@ Table message_stats_table(const std::string& label, const SimStats& s) {
              static_cast<std::int64_t>(s.ttl_expired)});
   t.add_row({std::string("admission_rejected"),
              static_cast<std::int64_t>(s.admission_rejected)});
+  // Fault counters only appear when the run actually had faults; the
+  // common fault-free table stays unchanged.
+  if (s.downtime_s > 0.0 || s.faulted_aborts > 0 || s.reboot_purged > 0) {
+    t.add_row({std::string("downtime_s"), s.downtime_s});
+    t.add_row({std::string("faulted_aborts"),
+               static_cast<std::int64_t>(s.faulted_aborts)});
+    t.add_row({std::string("reboot_purged"),
+               static_cast<std::int64_t>(s.reboot_purged)});
+  }
   t.add_row({std::string("avg_buffer_occupancy"),
              s.buffer_occupancy.mean()});
   return t;

@@ -234,9 +234,10 @@ ArchiveReader read_archive_file(const std::string& path) {
   DTN_REQUIRE(take_le32(framed, 0) == kArchiveMagic,
               "archive: bad magic (not a snapshot file): " + path);
   const std::uint32_t version = take_le32(framed, 4);
-  DTN_REQUIRE(version == kArchiveVersion,
+  DTN_REQUIRE(version >= kArchiveMinVersion && version <= kArchiveVersion,
               "archive: unsupported version " + std::to_string(version) +
-                  " (expected " + std::to_string(kArchiveVersion) + ")");
+                  " (supported: " + std::to_string(kArchiveMinVersion) +
+                  ".." + std::to_string(kArchiveVersion) + ")");
   const std::uint64_t n = take_le64(framed, 8);
   DTN_REQUIRE(framed.size() == 24 + n,
               "archive: payload length mismatch (truncated?): " + path);
@@ -244,8 +245,11 @@ ArchiveReader read_archive_file(const std::string& path) {
   h.update(framed.data() + 16, n);
   const std::uint64_t stored = take_le64(framed, 16 + n);
   DTN_REQUIRE(h.digest() == stored, "archive: digest mismatch (corrupt): " + path);
-  return ArchiveReader(std::vector<std::uint8_t>(
-      framed.begin() + 16, framed.begin() + 16 + static_cast<std::ptrdiff_t>(n)));
+  return ArchiveReader(
+      std::vector<std::uint8_t>(
+          framed.begin() + 16,
+          framed.begin() + 16 + static_cast<std::ptrdiff_t>(n)),
+      version);
 }
 
 void write_running_stats(ArchiveWriter& w, const RunningStats& s) {

@@ -29,10 +29,13 @@ namespace dtn::snapshot {
 /// version on any layout change; readers reject archives whose version
 /// they do not understand (no silent best-effort decoding).
 inline constexpr std::uint32_t kArchiveMagic = 0x534E5444u;  // "DTNS" LE
-// v3: event-driven core — contact-tracker kinetic state (slack, motion
-// budget, previous positions) in buffered checkpoints; in-flight transfers
-// serialized sorted by sender. (v2: priority cache.)
-inline constexpr std::uint32_t kArchiveVersion = 3;
+// v4: fault-injection state — FaultPlan (RNG stream, availability and
+// degradation flags, pending event schedule) plus the fault counters in
+// SimStats. (v3: event-driven core kinetic state; v2: priority cache.)
+// Since v4, readers accept any older version: each load_state consults
+// ArchiveReader::version() and skips sections the writer predates.
+inline constexpr std::uint32_t kArchiveVersion = 4;
+inline constexpr std::uint32_t kArchiveMinVersion = 1;
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {
@@ -110,8 +113,16 @@ class ArchiveWriter {
 
 class ArchiveReader {
  public:
-  explicit ArchiveReader(std::vector<std::uint8_t> bytes)
-      : buf_(std::move(bytes)) {}
+  /// `version` is the format version the bytes were written under; it
+  /// defaults to current for in-memory round trips (writer and reader in
+  /// the same process). read_archive_file stamps the file header version.
+  explicit ArchiveReader(std::vector<std::uint8_t> bytes,
+                         std::uint32_t version = kArchiveVersion)
+      : buf_(std::move(bytes)), version_(version) {}
+
+  /// Format version of the stream; load_state implementations gate
+  /// sections introduced after it.
+  std::uint32_t version() const { return version_; }
 
   std::uint8_t u8();
   std::uint32_t u32();
@@ -134,6 +145,7 @@ class ArchiveReader {
   std::uint64_t le64();
 
   std::vector<std::uint8_t> buf_;
+  std::uint32_t version_ = kArchiveVersion;
   std::size_t pos_ = 0;
   int depth_ = 0;
 };

@@ -1,0 +1,365 @@
+// Fault-injection subsystem tests.
+//
+// Load-bearing properties: a faulty run is exactly as deterministic as a
+// fault-free one (same seed => same digest trajectory), the legacy and
+// event-driven step loops agree decision-for-decision under faults, a
+// checkpoint taken mid-outage resumes bit-identically, and the
+// started == completed + aborted + in-flight accounting identity holds
+// throughout.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/config/scenario.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/report/sweep.hpp"
+#include "src/snapshot/checkpoint.hpp"
+
+namespace dtn {
+namespace {
+
+// Scaled-down Table II world with every fault mechanism active.
+Scenario faulty_scenario(const std::string& policy,
+                         const std::string& which = "rwp") {
+  Scenario sc = which == "taxi" ? Scenario::taxi_paper()
+                                : Scenario::random_waypoint_paper();
+  sc.n_nodes = 24;
+  sc.world.duration = 4000.0;
+  sc.rwp.area = Rect::sized(1500.0, 1200.0);
+  sc.traffic.interval_min = 30.0;
+  sc.traffic.interval_max = 40.0;
+  sc.traffic.ttl = 2000.0;
+  sc.traffic.initial_copies = 8;
+  sc.policy = policy;
+  sc.seed = 7;
+  sc.fault.enabled = true;
+  sc.fault.churn_fraction = 0.5;
+  sc.fault.mean_up_s = 600.0;
+  sc.fault.mean_down_s = 300.0;
+  sc.fault.link_abort_rate_per_hour = 60.0;
+  sc.fault.degrade_rate_per_hour = 6.0;
+  sc.fault.degrade_duration_s = 120.0;
+  sc.fault.degrade_range_factor = 0.6;
+  sc.fault.degrade_bitrate_factor = 0.5;
+  return sc;
+}
+
+std::vector<std::uint64_t> digest_trajectory(const Scenario& sc) {
+  auto world = build_world(sc);
+  std::vector<std::uint64_t> out;
+  for (double t = 300.0; t <= sc.world.duration + 1e-9; t += 300.0) {
+    world->run_until(t);
+    out.push_back(world->digest());
+  }
+  return out;
+}
+
+void expect_accounting_identity(const World& w) {
+  const SimStats& s = w.stats();
+  EXPECT_EQ(s.transfers_started,
+            s.transfers_completed + s.transfers_aborted +
+                w.transfers_in_flight().size());
+  EXPECT_LE(s.faulted_aborts, s.transfers_aborted);
+}
+
+// --- FaultConfig validation ---
+
+TEST(FaultConfig, DefaultIsValidAndInert) {
+  FaultConfig cfg;
+  cfg.validate();
+  EXPECT_FALSE(cfg.any_active());
+  cfg.enabled = true;
+  EXPECT_FALSE(cfg.any_active()) << "no mechanism has a positive rate";
+  cfg.churn_fraction = 0.1;
+  EXPECT_TRUE(cfg.any_active());
+}
+
+TEST(FaultConfig, RejectsOutOfRangeValues) {
+  const auto invalid = [](auto mutate) {
+    FaultConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), PreconditionError);
+  };
+  invalid([](FaultConfig& c) { c.churn_fraction = -0.1; });
+  invalid([](FaultConfig& c) { c.churn_fraction = 1.5; });
+  invalid([](FaultConfig& c) { c.mean_up_s = 0.0; });
+  invalid([](FaultConfig& c) { c.mean_down_s = -5.0; });
+  invalid([](FaultConfig& c) { c.link_abort_rate_per_hour = -1.0; });
+  invalid([](FaultConfig& c) { c.degrade_rate_per_hour = -1.0; });
+  invalid([](FaultConfig& c) { c.degrade_duration_s = 0.0; });
+  invalid([](FaultConfig& c) { c.degrade_range_factor = 0.0; });
+  invalid([](FaultConfig& c) { c.degrade_range_factor = 1.1; });
+  invalid([](FaultConfig& c) { c.degrade_bitrate_factor = 0.0; });
+}
+
+TEST(FaultConfig, SettingsRoundTripAndValidation) {
+  Scenario sc = faulty_scenario("sdsrp");
+  const Scenario back = Scenario::from_settings(sc.to_settings());
+  EXPECT_EQ(back.fault.enabled, sc.fault.enabled);
+  EXPECT_DOUBLE_EQ(back.fault.churn_fraction, sc.fault.churn_fraction);
+  EXPECT_DOUBLE_EQ(back.fault.mean_up_s, sc.fault.mean_up_s);
+  EXPECT_DOUBLE_EQ(back.fault.mean_down_s, sc.fault.mean_down_s);
+  EXPECT_EQ(back.fault.reboot_purge, sc.fault.reboot_purge);
+  EXPECT_DOUBLE_EQ(back.fault.link_abort_rate_per_hour,
+                   sc.fault.link_abort_rate_per_hour);
+  EXPECT_DOUBLE_EQ(back.fault.degrade_range_factor,
+                   sc.fault.degrade_range_factor);
+
+  Settings bad = sc.to_settings();
+  bad.set("Fault.churnFraction", "2.0");
+  EXPECT_THROW(Scenario::from_settings(bad), PreconditionError);
+}
+
+// --- FaultPlan unit behavior ---
+
+TEST(FaultPlan, ChurnAlternatesAndAccountsDowntime) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.churn_fraction = 1.0;
+  cfg.mean_up_s = 50.0;
+  cfg.mean_down_s = 30.0;
+  FaultPlan plan(cfg, 4, /*seed=*/99);
+  double downtime = 0.0;
+  std::size_t downs = 0;
+  std::size_t ups = 0;
+  FaultPlan::Event e;
+  for (double t = 1.0; t <= 2000.0; t += 1.0) {
+    while (plan.pop_due(t, &e)) {
+      if (e.kind == FaultPlan::Kind::kNodeDown) {
+        ++downs;
+        EXPECT_FALSE(plan.is_up(e.node));
+      } else if (e.kind == FaultPlan::Kind::kNodeUp) {
+        ++ups;
+        EXPECT_TRUE(plan.is_up(e.node));
+        EXPECT_GT(e.down_duration, 0.0);
+        downtime += e.down_duration;
+      }
+    }
+  }
+  EXPECT_GT(downs, 0u);
+  EXPECT_GT(ups, 0u);
+  EXPECT_LE(plan.down_count(), 4u);
+  EXPECT_GT(downtime, 0.0);
+  // Every completed outage is bracketed: downs == ups + currently down.
+  EXPECT_EQ(downs, ups + plan.down_count());
+}
+
+TEST(FaultPlan, DegradationScalesFactorsOnlyWhileActive) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.degrade_rate_per_hour = 30.0;
+  cfg.degrade_duration_s = 40.0;
+  cfg.degrade_range_factor = 0.7;
+  cfg.degrade_bitrate_factor = 0.4;
+  FaultPlan plan(cfg, 3, /*seed=*/5);
+  EXPECT_DOUBLE_EQ(plan.range_factor(0), 1.0);
+  bool saw_degraded = false;
+  FaultPlan::Event e;
+  for (double t = 1.0; t <= 4000.0; t += 1.0) {
+    while (plan.pop_due(t, &e)) {
+      if (e.kind == FaultPlan::Kind::kDegradeStart) {
+        saw_degraded = true;
+        EXPECT_TRUE(plan.is_degraded(e.node));
+        EXPECT_DOUBLE_EQ(plan.range_factor(e.node), 0.7);
+        EXPECT_DOUBLE_EQ(plan.bitrate_factor(e.node), 0.4);
+      } else if (e.kind == FaultPlan::Kind::kDegradeEnd) {
+        EXPECT_FALSE(plan.is_degraded(e.node));
+        EXPECT_DOUBLE_EQ(plan.range_factor(e.node), 1.0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+}
+
+TEST(FaultPlan, SaveRestoreResumesIdenticalEventSequence) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.churn_fraction = 1.0;
+  cfg.mean_up_s = 40.0;
+  cfg.mean_down_s = 25.0;
+  cfg.link_abort_rate_per_hour = 120.0;
+  cfg.degrade_rate_per_hour = 20.0;
+  cfg.degrade_duration_s = 30.0;
+  cfg.degrade_range_factor = 0.5;
+
+  FaultPlan a(cfg, 6, /*seed=*/123);
+  FaultPlan::Event e;
+  for (double t = 1.0; t <= 500.0; t += 1.0) {
+    while (a.pop_due(t, &e)) {
+    }
+  }
+  snapshot::ArchiveWriter out;
+  a.save_state(out);
+
+  FaultPlan b(cfg, 6, /*seed=*/123);  // same compile, then overwrite
+  snapshot::ArchiveReader in(out.bytes());
+  b.load_state(in);
+
+  // Both must now pop the exact same future, including fresh RNG draws.
+  for (double t = 501.0; t <= 1500.0; t += 1.0) {
+    FaultPlan::Event ea, eb;
+    for (;;) {
+      const bool ha = a.pop_due(t, &ea);
+      const bool hb = b.pop_due(t, &eb);
+      ASSERT_EQ(ha, hb);
+      if (!ha) break;
+      EXPECT_EQ(ea.at, eb.at);
+      EXPECT_EQ(ea.kind, eb.kind);
+      EXPECT_EQ(ea.node, eb.node);
+      EXPECT_EQ(ea.down_duration, eb.down_duration);
+    }
+  }
+}
+
+// --- determinism with faults on ---
+
+TEST(FaultDeterminism, SameSeedSameDigestTrajectory) {
+  const Scenario sc = faulty_scenario("sdsrp");
+  const auto a = digest_trajectory(sc);
+  const auto b = digest_trajectory(sc);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "digest diverged at sample " << i;
+  }
+}
+
+TEST(FaultDeterminism, FaultsChangeTheRunButNotTheTrafficSchedule) {
+  Scenario faulty = faulty_scenario("sdsrp");
+  Scenario clean = faulty;
+  clean.fault = FaultConfig{};
+  auto wf = build_world(faulty);
+  auto wc = build_world(clean);
+  wf->run();
+  wc->run();
+  EXPECT_NE(wf->digest(), wc->digest());
+  // The fault stream is isolated: the generator emits the same messages.
+  EXPECT_EQ(wf->stats().created, wc->stats().created);
+  EXPECT_GT(wf->stats().downtime_s, 0.0);
+  EXPECT_EQ(wc->stats().downtime_s, 0.0);
+  EXPECT_LE(wf->stats().delivered, wc->stats().delivered)
+      << "downtime should not improve delivery at this scale";
+}
+
+class FaultPolicies : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultPolicies, EventAndLegacyStepAgreeUnderFaults) {
+  Scenario sc = faulty_scenario(GetParam());
+  Scenario legacy = sc;
+  legacy.world.legacy_step = true;
+  const auto ev = digest_trajectory(sc);
+  const auto lg = digest_trajectory(legacy);
+  ASSERT_EQ(ev.size(), lg.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i], lg[i]) << "step modes diverged at sample " << i;
+  }
+}
+
+TEST_P(FaultPolicies, MidOutageRestoreMatchesUninterrupted) {
+  const Scenario sc = faulty_scenario(GetParam());
+  const double half = sc.world.duration / 2.0;
+
+  auto cold = build_world(sc);
+  cold->run();
+  const std::uint64_t cold_digest = cold->digest();
+  expect_accounting_identity(*cold);
+
+  auto first = build_world(sc);
+  first->run_until(half);
+  ASSERT_NE(first->faults(), nullptr);
+  // With 12 churning nodes ~1/3 down on average, the save point sits
+  // mid-outage for several of them (deterministic under the fixed seed).
+  EXPECT_GT(first->faults()->down_count(), 0u)
+      << "save point is not mid-outage; strengthen the churn parameters";
+  snapshot::ArchiveWriter out;
+  snapshot::save_world(out, sc, *first);
+  const std::uint64_t half_digest = first->digest();
+  first.reset();
+
+  snapshot::ArchiveReader in(out.bytes());
+  auto restored = snapshot::restore_world(in);
+  EXPECT_EQ(restored.world->digest(), half_digest)
+      << "mid-outage restore is not bit-for-bit";
+
+  restored.world->run();
+  EXPECT_EQ(restored.world->digest(), cold_digest)
+      << "resumed faulty run diverged from the uninterrupted one";
+  EXPECT_EQ(restored.world->stats().faulted_aborts,
+            cold->stats().faulted_aborts);
+  EXPECT_EQ(restored.world->stats().downtime_s, cold->stats().downtime_s);
+  EXPECT_EQ(restored.world->stats().reboot_purged,
+            cold->stats().reboot_purged);
+  expect_accounting_identity(*restored.world);
+}
+
+TEST_P(FaultPolicies, AccountingIdentityHoldsThroughout) {
+  auto world = build_world(faulty_scenario(GetParam()));
+  while (world->now() + 1e-9 < world->config().duration) {
+    world->run_until(world->now() + 200.0);
+    expect_accounting_identity(*world);
+  }
+  const SimStats& s = world->stats();
+  EXPECT_GT(s.transfers_aborted, 0u);
+  EXPECT_GT(s.faulted_aborts, 0u) << "faults never aborted a transfer";
+  EXPECT_GT(s.downtime_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPolicies, FaultPolicies,
+                         ::testing::Values("fifo", "ttl-ratio", "copies-ratio",
+                                           "sdsrp"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// --- reboot purge semantics ---
+
+TEST(FaultReboot, PurgeLosesBuffersAndCounts) {
+  Scenario keep = faulty_scenario("fifo");
+  keep.fault.link_abort_rate_per_hour = 0.0;  // isolate churn
+  keep.fault.degrade_rate_per_hour = 0.0;
+  Scenario purge = keep;
+  purge.fault.reboot_purge = true;
+
+  auto wk = build_world(keep);
+  auto wp = build_world(purge);
+  wk->run();
+  wp->run();
+  EXPECT_EQ(wk->stats().reboot_purged, 0u);
+  EXPECT_GT(wp->stats().reboot_purged, 0u);
+  // Purged copies left the registry cleanly: the accounting still closes.
+  expect_accounting_identity(*wp);
+  EXPECT_LE(wp->stats().delivered, wk->stats().delivered)
+      << "losing buffers on reboot should not help delivery";
+}
+
+// --- parallel sweep determinism on faulty scenarios (TSan coverage) ---
+
+TEST(FaultSweep, ParallelMatchesSerial) {
+  ThreadPool pool(2);
+  std::vector<SweepPoint> points;
+  for (double frac : {0.25, 0.75}) {
+    SweepPoint p;
+    p.x = frac;
+    p.scenario = faulty_scenario("sdsrp");
+    p.scenario.world.duration = 2000.0;
+    p.scenario.fault.churn_fraction = frac;
+    points.push_back(std::move(p));
+  }
+  const auto parallel = run_sweep(points, 2, &pool);
+  const auto serial = run_sweep(points, 2, nullptr);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i].delivery_ratio.mean(),
+                     serial[i].delivery_ratio.mean());
+    EXPECT_DOUBLE_EQ(parallel[i].overhead_ratio.mean(),
+                     serial[i].overhead_ratio.mean());
+  }
+}
+
+}  // namespace
+}  // namespace dtn

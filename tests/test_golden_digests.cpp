@@ -1,0 +1,114 @@
+// Golden end-of-run digest pins.
+//
+// The paper's four policies on both paper scenarios (scaled down) are run
+// to completion and their World::digest() compared against the committed
+// fixture tests/golden/digests.txt. Any behavior change — intended or not
+// — moves a digest and fails here, so silent drift is caught by ctest
+// instead of surfacing later in EXPERIMENTS.md reruns.
+//
+// Regenerating after an *intended* change:
+//   DTN_REGEN_GOLDEN=1 ./build/tests/test_golden_digests
+// rewrites the fixture in the source tree; commit the diff with the
+// change that moved it. The pins hash IEEE-754 arithmetic, so they are
+// compiler/libm-sensitive in principle; CI and the dev container share a
+// toolchain, and a mismatch from a toolchain change is also worth seeing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/config/scenario.hpp"
+
+#ifndef DTN_GOLDEN_DIR
+#error "DTN_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace dtn {
+namespace {
+
+const char* const kPolicies[] = {"fifo", "ttl-ratio", "copies-ratio",
+                                 "sdsrp"};
+const char* const kScenarios[] = {"rwp", "taxi"};
+
+Scenario pinned_scenario(const std::string& which, const std::string& policy) {
+  Scenario sc = which == "taxi" ? Scenario::taxi_paper()
+                                : Scenario::random_waypoint_paper();
+  sc.n_nodes = 24;
+  sc.world.duration = 4000.0;
+  sc.rwp.area = Rect::sized(1500.0, 1200.0);
+  sc.traffic.interval_min = 30.0;
+  sc.traffic.interval_max = 40.0;
+  sc.traffic.ttl = 2000.0;
+  sc.traffic.initial_copies = 8;
+  sc.policy = policy;
+  sc.seed = 7;
+  return sc;
+}
+
+std::string fixture_path() {
+  return std::string(DTN_GOLDEN_DIR) + "/digests.txt";
+}
+
+std::string key_of(const std::string& scenario, const std::string& policy) {
+  return scenario + " " + policy;
+}
+
+std::map<std::string, std::uint64_t> load_pins() {
+  std::map<std::string, std::uint64_t> pins;
+  std::ifstream is(fixture_path());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string scenario, policy, hex;
+    ls >> scenario >> policy >> hex;
+    pins[key_of(scenario, policy)] = std::stoull(hex, nullptr, 16);
+  }
+  return pins;
+}
+
+std::uint64_t run_digest(const std::string& scenario,
+                         const std::string& policy) {
+  auto world = build_world(pinned_scenario(scenario, policy));
+  world->run();
+  return world->digest();
+}
+
+TEST(GoldenDigests, EndOfRunDigestsMatchPins) {
+  if (std::getenv("DTN_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(fixture_path(), std::ios::trunc);
+    ASSERT_TRUE(os.good()) << "cannot write " << fixture_path();
+    os << "# End-of-run World::digest() pins (see test_golden_digests.cpp).\n"
+       << "# Regenerate with: DTN_REGEN_GOLDEN=1 ./test_golden_digests\n";
+    for (const char* scenario : kScenarios) {
+      for (const char* policy : kPolicies) {
+        char hex[32];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(
+                          run_digest(scenario, policy)));
+        os << scenario << " " << policy << " " << hex << "\n";
+      }
+    }
+    GTEST_SKIP() << "regenerated " << fixture_path();
+  }
+
+  const auto pins = load_pins();
+  ASSERT_EQ(pins.size(), 8u) << "fixture missing or incomplete: "
+                             << fixture_path();
+  for (const char* scenario : kScenarios) {
+    for (const char* policy : kPolicies) {
+      const auto it = pins.find(key_of(scenario, policy));
+      ASSERT_NE(it, pins.end()) << "no pin for " << scenario << "/" << policy;
+      EXPECT_EQ(run_digest(scenario, policy), it->second)
+          << scenario << "/" << policy
+          << " drifted; if intended, regenerate with DTN_REGEN_GOLDEN=1";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtn

@@ -4,10 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <set>
 #include <tuple>
 #include <unordered_map>
 
 #include "src/config/scenario.hpp"
+#include "src/core/node.hpp"
+#include "src/mobility/stationary.hpp"
+#include "src/routing/spray_and_wait.hpp"
+#include "src/util/rng.hpp"
 
 namespace dtn {
 namespace {
@@ -194,6 +201,155 @@ std::string bare_policy_name(
 INSTANTIATE_TEST_SUITE_P(Policies, DeterminismProperty,
                          ::testing::Values("fifo", "random", "sdsrp",
                                            "copies-ratio"),
+                         bare_policy_name);
+
+// Model-based fuzz of Buffer + Node::admit against a naive reference
+// model. The model is a plain map id -> (size, expiry) plus a pinned
+// set; it does not predict *which* victim a policy evicts (that is the
+// policy's business) but it pins down everything structural:
+//   * byte accounting is exact after every operation;
+//   * `Buffer::revision()` is monotonic and bumps exactly once per
+//     membership change (inserts, takes, evictions, purge removals);
+//   * pinned messages are never evicted by admission and never purged;
+//   * `would_admit` is a faithful dry run of `admit` (deterministic
+//     policies only — RandomPolicy draws from its stream per decision);
+//   * a rejected admission leaves the buffer untouched;
+//   * `purge_expired` removes exactly the expired unpinned residents.
+class BufferModelFuzz : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BufferModelFuzz, AdmissionAgreesWithNaiveModel) {
+  const std::string policy_name = GetParam();
+  const bool deterministic = policy_name != "random";
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.policy = policy_name;
+
+  for (const std::uint64_t seed : {11ull, 29ull, 83ull}) {
+    auto policy = make_policy(sc, seed);
+    SprayAndWaitRouter router;
+    constexpr std::int64_t kCapacity = 3'000'000;
+    Node node(0, std::make_unique<StationaryModel>(Vec2{0.0, 0.0}), kCapacity,
+              &router, policy.get(), {});
+
+    struct Entry {
+      std::int64_t size = 0;
+      SimTime expiry = 0.0;
+    };
+    std::map<MessageId, Entry> model;
+    std::set<MessageId> pinned;
+
+    Rng rng(seed * 7919 + 1);
+    SimTime now = 0.0;
+    MessageId next_id = 1;
+    std::uint64_t last_rev = node.buffer().revision();
+
+    // Uniform pick from an ordered set/map (deterministic under the seed).
+    const auto pick = [&rng](const auto& container) {
+      auto it = container.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<std::int64_t>(container.size()) - 1));
+      return *it;
+    };
+
+    for (int op = 0; op < 400; ++op) {
+      now += rng.uniform(1.0, 40.0);
+      PolicyContext ctx;
+      ctx.now = now;
+      ctx.n_nodes = 16;
+      ctx.node = &node;
+      const double roll = rng.uniform01();
+
+      if (roll < 0.50) {  // admit a fresh message
+        Message m;
+        m.id = next_id++;
+        m.source = 1;
+        m.destination = 2;
+        m.size = rng.uniform_int(200'000, 900'000);
+        m.created = now;
+        m.ttl = rng.uniform(50.0, 2000.0);
+        m.initial_copies = 8;
+        m.copies = static_cast<int>(rng.uniform_int(1, 8));
+        m.received = now;
+        const Message probe = m;
+        const bool predicted = deterministic && node.would_admit(probe, ctx);
+        const auto res = node.admit(std::move(m), ctx);
+        if (deterministic) {
+          EXPECT_EQ(res.admitted, predicted) << "dry run disagreed with admit";
+        }
+        for (const Message& e : res.evicted) {
+          EXPECT_EQ(pinned.count(e.id), 0u) << "evicted pinned msg " << e.id;
+          ASSERT_EQ(model.count(e.id), 1u) << "evicted non-resident " << e.id;
+          model.erase(e.id);
+        }
+        std::size_t bumps = res.evicted.size();
+        if (res.admitted) {
+          model[probe.id] = Entry{probe.size, probe.expiry()};
+          ++bumps;
+        } else {
+          EXPECT_TRUE(res.evicted.empty())
+              << "rejected admission must not evict";
+        }
+        EXPECT_EQ(node.buffer().revision(), last_rev + bumps);
+      } else if (roll < 0.65 && !model.empty()) {  // take (transfer/drop)
+        const MessageId id = pick(model).first;
+        if (pinned.count(id) > 0) {
+          node.unpin(id);
+          pinned.erase(id);
+        }
+        const Message gone = node.buffer().take(id);
+        EXPECT_EQ(gone.size, model[id].size);
+        model.erase(id);
+        EXPECT_EQ(node.buffer().revision(), last_rev + 1);
+      } else if (roll < 0.75 && !model.empty()) {  // pin (transfer start)
+        const MessageId id = pick(model).first;
+        if (pinned.count(id) == 0) {
+          node.pin(id);
+          pinned.insert(id);
+        }
+        EXPECT_TRUE(node.is_pinned(id));
+      } else if (roll < 0.85 && !pinned.empty()) {  // unpin (transfer end)
+        const MessageId id = pick(pinned);
+        node.unpin(id);
+        pinned.erase(id);
+        EXPECT_FALSE(node.is_pinned(id));
+      } else {  // TTL purge
+        const auto removed = node.buffer().purge_expired(now, node.pinned());
+        for (const Message& r : removed) {
+          EXPECT_EQ(pinned.count(r.id), 0u) << "purged pinned msg " << r.id;
+          ASSERT_EQ(model.count(r.id), 1u);
+          EXPECT_LE(model[r.id].expiry, now);
+          model.erase(r.id);
+        }
+        EXPECT_EQ(node.buffer().revision(), last_rev + removed.size());
+        // Completeness: no expired unpinned resident survives.
+        for (const auto& [id, e] : model) {
+          if (pinned.count(id) == 0) EXPECT_GT(e.expiry, now) << "msg " << id;
+        }
+      }
+
+      // Structural invariants after every operation.
+      std::int64_t used = 0;
+      for (const auto& [id, e] : model) used += e.size;
+      EXPECT_EQ(node.buffer().used(), used);
+      EXPECT_EQ(node.buffer().count(), model.size());
+      EXPECT_LE(node.buffer().used(), node.buffer().capacity());
+      EXPECT_GE(node.buffer().revision(), last_rev) << "revision went back";
+      for (MessageId id : pinned) {
+        EXPECT_TRUE(node.buffer().has(id)) << "pinned msg " << id << " lost";
+      }
+      for (const auto& [id, e] : model) {
+        const Message* m = node.buffer().find(id);
+        ASSERT_NE(m, nullptr) << "model msg " << id << " missing";
+        EXPECT_EQ(m->size, e.size);
+      }
+      last_rev = node.buffer().revision();
+    }
+    EXPECT_GT(last_rev, 0u) << "fuzz never churned the buffer";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BufferModelFuzz,
+                         ::testing::Values("fifo", "ttl-ratio", "copies-ratio",
+                                           "sdsrp", "random"),
                          bare_policy_name);
 
 }  // namespace
