@@ -1,0 +1,115 @@
+// Intra-step parallelism microbenchmark: Table II RWP at growing fleet
+// sizes, serial step loop (Parallel.threads = 0) vs the sharded phases
+// (DESIGN.md §11) at 2/4/8 workers, for FIFO and SDSRP. The parallel
+// mode is decision-identical by construction, so every (N, policy,
+// threads) cell also compares its end-of-run digest against the serial
+// baseline — `parallel_digest_matches_serial` in the JSON is the AND
+// over every cell and is gated by CI. `hardware_threads` records the
+// measurement box: throughput numbers are only meaningful relative to
+// it (a 1-core container cannot show wall-clock speedups).
+//
+//   ./micro_parallel_step [warm_s] [measure_s] [out.json]
+//
+// Writes a JSON report (default BENCH_parallel_step.json); the committed
+// copy at the repo root is produced with the default full horizons.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/config/scenario.hpp"
+
+namespace {
+
+struct RunResult {
+  double steps_per_sec = 0.0;
+  double wall_s = 0.0;
+  std::size_t delivered = 0;
+  std::uint64_t digest = 0;
+};
+
+RunResult run_one(std::size_t nodes, const std::string& policy,
+                  std::size_t threads, double warm_s, double measure_s) {
+  dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+  sc.n_nodes = nodes;
+  sc.policy = policy;
+  sc.world.threads = threads;
+  sc.world.duration = warm_s + measure_s;
+  auto world = dtn::build_world(sc);
+  world->run_until(warm_s);
+  const auto t0 = std::chrono::steady_clock::now();
+  world->run_until(warm_s + measure_s);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const double steps = measure_s / sc.world.step;
+  r.steps_per_sec = r.wall_s > 0.0 ? steps / r.wall_s : 0.0;
+  r.delivered = world->stats().delivered;
+  r.digest = world->digest();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double warm_s = argc > 1 ? std::strtod(argv[1], nullptr) : 300.0;
+  const double measure_s = argc > 2 ? std::strtod(argv[2], nullptr) : 1500.0;
+  const std::string out_path = argc > 3 ? argv[3] : "BENCH_parallel_step.json";
+
+  const std::vector<std::size_t> fleet_sizes{126, 500, 2000};
+  const std::vector<std::string> policies{"fifo", "sdsrp"};
+  const std::vector<std::size_t> thread_counts{2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::cout << "Table II RWP parallel step, warm " << warm_s << " s, measure "
+            << measure_s << " s, hardware threads " << hw << "\n";
+
+  bool all_digests_match = true;
+  std::string rows;
+  for (const std::size_t n : fleet_sizes) {
+    for (const std::string& policy : policies) {
+      const RunResult serial = run_one(n, policy, 0, warm_s, measure_s);
+      std::cout << "  N=" << n << " " << policy << ": serial "
+                << serial.steps_per_sec << " steps/s\n";
+      for (const std::size_t threads : thread_counts) {
+        const RunResult par = run_one(n, policy, threads, warm_s, measure_s);
+        const bool match = par.digest == serial.digest;
+        all_digests_match = all_digests_match && match;
+        const double speedup = serial.steps_per_sec > 0.0
+                                   ? par.steps_per_sec / serial.steps_per_sec
+                                   : 0.0;
+        std::cout << "    threads=" << threads << ": "
+                  << par.steps_per_sec << " steps/s, speedup " << speedup
+                  << "x, digest " << (match ? "match" : "MISMATCH") << "\n";
+        if (!rows.empty()) rows += ",\n";
+        rows += "    {\"nodes\": " + std::to_string(n) + ", \"policy\": \"" +
+                policy + "\", \"threads\": " + std::to_string(threads) +
+                ", \"serial_steps_per_sec\": " +
+                std::to_string(serial.steps_per_sec) +
+                ", \"parallel_steps_per_sec\": " +
+                std::to_string(par.steps_per_sec) +
+                ", \"speedup\": " + std::to_string(speedup) +
+                ", \"delivered\": " + std::to_string(par.delivered) +
+                ", \"digest_match\": " + (match ? "true" : "false") + "}";
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"scenario\": \"rwp-paper\",\n"
+      << "  \"warm_s\": " << warm_s << ",\n"
+      << "  \"measure_s\": " << measure_s << ",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"results\": [\n"
+      << rows << "\n"
+      << "  ],\n"
+      << "  \"parallel_digest_matches_serial\": "
+      << (all_digests_match ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return all_digests_match ? 0 : 1;
+}

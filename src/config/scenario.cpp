@@ -59,6 +59,9 @@ Settings Scenario::to_settings() const {
   s.set("World.priorityCache", world.priority_cache ? "true" : "false");
   put_d("World.priorityRefreshS", world.priority_refresh_s);
   s.set("World.legacyStep", world.legacy_step ? "true" : "false");
+  // 0 = serial. Any value yields bit-identical digest trajectories
+  // (DESIGN.md §11), so the key is carried in checkpoints harmlessly.
+  put_i("Parallel.threads", static_cast<std::int64_t>(world.threads));
   put_i("World.nodes", static_cast<std::int64_t>(n_nodes));
   put_i("World.bufferBytes", buffer_capacity);
   put_d("Traffic.intervalMin", traffic.interval_min);
@@ -119,6 +122,8 @@ Scenario Scenario::from_settings(const Settings& s) {
       s.get_double_or("World.priorityRefreshS", sc.world.priority_refresh_s);
   sc.world.legacy_step =
       s.get_bool_or("World.legacyStep", sc.world.legacy_step);
+  sc.world.threads = static_cast<std::size_t>(s.get_int_or(
+      "Parallel.threads", static_cast<std::int64_t>(sc.world.threads)));
   sc.n_nodes = static_cast<std::size_t>(
       s.get_int_or("World.nodes", static_cast<std::int64_t>(sc.n_nodes)));
   sc.buffer_capacity = s.get_int_or("World.bufferBytes", sc.buffer_capacity);

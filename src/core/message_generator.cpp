@@ -57,11 +57,16 @@ void MessageGenerator::load_state(snapshot::ArchiveReader& in) {
 
 std::vector<Message> MessageGenerator::poll(SimTime now) {
   std::vector<Message> out;
+  poll(now, out);
+  return out;
+}
+
+void MessageGenerator::poll(SimTime now, std::vector<Message>& out) {
+  out.clear();
   while (next_time_ <= now && next_time_ <= cfg_.stop) {
     out.push_back(make_message(next_time_));
     next_time_ += rng_.uniform(cfg_.interval_min, cfg_.interval_max);
   }
-  return out;
 }
 
 }  // namespace dtn

@@ -37,6 +37,10 @@ class MessageGenerator {
   /// All messages due at or before `now` (each call advances the schedule).
   std::vector<Message> poll(SimTime now);
 
+  /// Allocation-free variant for the step hot path: clears `out` and fills
+  /// it with the due messages, reusing its capacity across steps.
+  void poll(SimTime now, std::vector<Message>& out);
+
   /// Next creation time (for tests).
   SimTime next_due() const { return next_time_; }
 

@@ -18,6 +18,10 @@ World::World(const WorldConfig& cfg) : cfg_(cfg), tracker_(cfg.range) {
   DTN_REQUIRE(cfg.priority_refresh_s >= 0.0,
               "World: priority_refresh_s must be non-negative");
   next_occupancy_sample_ = cfg.occupancy_sample_interval;
+  if (cfg_.threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+    tracker_.set_thread_pool(pool_.get());
+  }
 }
 
 void World::set_router(std::unique_ptr<Router> router) {
@@ -107,19 +111,69 @@ PolicyContext World::ctx_for(const Node& n) const {
   return ctx;
 }
 
+namespace {
+/// Indices per pool task in the sharded step phases. Determinism never
+/// depends on the grain (shards only batch independent per-index work),
+/// so these are pure tuning knobs.
+constexpr std::size_t kMobilityGrain = 64;
+constexpr std::size_t kPrewarmGrain = 8;
+constexpr std::size_t kTtlGrain = 64;
+/// Below this many due TTL entries the serial checks are cheaper than
+/// fanning the batch out.
+constexpr std::size_t kTtlParallelMin = 64;
+}  // namespace
+
 void World::advance_mobility() {
-  for (auto& n : nodes_) n->mobility().advance(cfg_.step);
+  // Advancing also samples the post-move position into positions_ — the
+  // tracker input. Each mobility model owns its private RNG stream, so
+  // per-node advancement is order-free and safe to shard.
+  const std::size_t n = nodes_.size();
+  positions_.resize(n);
+  if (pool_ != nullptr) {
+    parallel_for_index(*pool_, n, kMobilityGrain, [this](std::size_t i) {
+      Node& nd = *nodes_[i];
+      nd.mobility().advance(cfg_.step);
+      positions_[i] = nd.mobility().position();
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      Node& nd = *nodes_[i];
+      nd.mobility().advance(cfg_.step);
+      positions_[i] = nd.mobility().position();
+    }
+  }
+}
+
+void World::prewarm_priorities() {
+  if (pool_ == nullptr || !cfg_.priority_cache || !policy_->cache_safe() ||
+      !policy_->prewarm_worthwhile()) {
+    return;
+  }
+  // Only nodes on an active contact face priority evaluations in the
+  // upcoming start_transfers phase. Shards are whole nodes, so each task
+  // writes only its own node's warm buffer — no shared mutable state.
+  prewarm_nodes_.clear();
+  for (const NodePair& p : active_contacts()) {
+    prewarm_nodes_.push_back(static_cast<NodeId>(p.first));
+    prewarm_nodes_.push_back(static_cast<NodeId>(p.second));
+  }
+  if (prewarm_nodes_.empty()) return;
+  std::sort(prewarm_nodes_.begin(), prewarm_nodes_.end());
+  prewarm_nodes_.erase(
+      std::unique(prewarm_nodes_.begin(), prewarm_nodes_.end()),
+      prewarm_nodes_.end());
+  parallel_for_index(*pool_, prewarm_nodes_.size(), kPrewarmGrain,
+                     [this](std::size_t k) {
+                       const Node& n = *nodes_[prewarm_nodes_[k]];
+                       policy_->prewarm_node(ctx_for(n));
+                     });
 }
 
 void World::step() {
   DTN_REQUIRE(nodes_.size() >= 2, "World: need at least two nodes to run");
   if (!kinetics_configured_) configure_kinetics();
   now_ += cfg_.step;
-  advance_mobility();
-
-  positions_.clear();
-  positions_.reserve(nodes_.size());
-  for (const auto& n : nodes_) positions_.push_back(n->mobility().position());
+  advance_mobility();  // also refills positions_
   const ContactChurn& churn = tracker_.update(positions_);
 
   if (fault_ == nullptr) {
@@ -138,6 +192,7 @@ void World::step() {
   complete_due_transfers();
   if (gen_ != nullptr) generate_traffic();
   purge_ttl();
+  prewarm_priorities();
   start_transfers();
 
   if (now_ + 1e-9 >= next_occupancy_sample_) {
@@ -171,11 +226,12 @@ void World::apply_fault_events() {
           // Uniform pick in sender order — transfers_ itself is unordered
           // (swap-pop), so index into a sorted view. No in-flight transfer
           // means no RNG draw; the stream stays state-deterministic.
-          std::vector<NodeId> senders;
-          senders.reserve(transfers_.size());
-          for (const Transfer& t : transfers_) senders.push_back(t.from);
-          std::sort(senders.begin(), senders.end());
-          const NodeId from = senders[fault_->pick_index(senders.size())];
+          fault_senders_.clear();
+          fault_senders_.reserve(transfers_.size());
+          for (const Transfer& t : transfers_) fault_senders_.push_back(t.from);
+          std::sort(fault_senders_.begin(), fault_senders_.end());
+          const NodeId from =
+              fault_senders_[fault_->pick_index(fault_senders_.size())];
           const Transfer t =
               transfers_[static_cast<std::size_t>(outgoing_[from])];
           ++stats_.faulted_aborts;
@@ -213,9 +269,9 @@ void World::purge_on_reboot(Node& n) {
   // The node's transfers were aborted when it went down and none started
   // while it was severed from the live set, so nothing is pinned.
   DTN_REQUIRE(n.pinned().empty(), "reboot purge: down node holds pins");
-  std::vector<MessageId> doomed;
-  for (const Message& m : n.buffer().messages()) doomed.push_back(m.id);
-  for (MessageId id : doomed) {
+  doomed_scratch_.clear();
+  for (const Message& m : n.buffer().messages()) doomed_scratch_.push_back(m.id);
+  for (MessageId id : doomed_scratch_) {
     n.buffer().take(id);
     n.priority_cache().invalidate(id);
     // Not a policy drop: no record_drop, no on_drop — the storage died.
@@ -373,16 +429,17 @@ void World::abort_transfer_from(NodeId from_id, NodeId to_id) {
 void World::complete_due_transfers() {
   if (cfg_.legacy_step) {
     // Completion order: by eta, then sender id — deterministic.
-    std::vector<Transfer> due;
+    legacy_due_.clear();
     for (const Transfer& t : transfers_) {
-      if (t.eta <= now_ + 1e-9) due.push_back(t);
+      if (t.eta <= now_ + 1e-9) legacy_due_.push_back(t);
     }
-    std::sort(due.begin(), due.end(), [](const Transfer& a, const Transfer& b) {
-      if (a.eta != b.eta) return a.eta < b.eta;
-      return a.from < b.from;
-    });
-    for (const Transfer& t : due) remove_transfer(t.from);
-    for (const Transfer& t : due) handle_completion(t);
+    std::sort(legacy_due_.begin(), legacy_due_.end(),
+              [](const Transfer& a, const Transfer& b) {
+                if (a.eta != b.eta) return a.eta < b.eta;
+                return a.from < b.from;
+              });
+    for (const Transfer& t : legacy_due_) remove_transfer(t.from);
+    for (const Transfer& t : legacy_due_) handle_completion(t);
     return;
   }
   // Event-driven path: drain the ETA heap, which pops in exactly the
@@ -505,7 +562,8 @@ void World::handle_completion(const Transfer& t) {
 }
 
 void World::generate_traffic() {
-  for (Message& m : gen_->poll(now_)) {
+  gen_->poll(now_, traffic_scratch_);
+  for (Message& m : traffic_scratch_) {
     ++stats_.created;
     const MessageId id = m.id;
     const NodeId src = m.source;
@@ -554,14 +612,57 @@ void World::purge_ttl() {
   // *order* differs from the legacy per-node scan, but every removal
   // lands in order-insensitive state (buffer membership, registry sets,
   // counters), so the end-of-step digest is identical.
+  //
+  // The due batch is drained first and applied second so the resident /
+  // pinned classification — the only per-entry reads — can fan out over
+  // the pool. The verdicts stay valid through the serial apply: a purge
+  // only changes `has` for its own (node, msg), and duplicate entries for
+  // one (node, msg) carry the same expiry (created + ttl is immutable per
+  // id), so they pop adjacently and inherit the first entry's outcome
+  // exactly as the interleaved serial loop would produce it.
   expiry_deferred_.clear();
+  due_scratch_.clear();
   while (!expiry_heap_.empty() && expiry_heap_.front().expiry <= now_) {
     std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), &expiry_after);
-    const ExpiryEvent e = expiry_heap_.back();
+    due_scratch_.push_back(expiry_heap_.back());
     expiry_heap_.pop_back();
+  }
+  if (due_scratch_.empty()) return;
+  const bool parallel =
+      pool_ != nullptr && due_scratch_.size() >= kTtlParallelMin;
+  if (parallel) {
+    ttl_verdicts_.resize(due_scratch_.size());
+    parallel_for_index(*pool_, due_scratch_.size(), kTtlGrain,
+                       [this](std::size_t k) {
+                         const ExpiryEvent& e = due_scratch_[k];
+                         const Node& n = *nodes_[e.node];
+                         ttl_verdicts_[k] =
+                             TtlVerdict{n.buffer().has(e.msg),
+                                        n.is_pinned(e.msg)};
+                       });
+  }
+  enum class Outcome { kStale, kDeferred, kPurged };
+  Outcome prev = Outcome::kStale;
+  for (std::size_t k = 0; k < due_scratch_.size(); ++k) {
+    const ExpiryEvent& e = due_scratch_[k];
+    if (k > 0 && due_scratch_[k - 1].node == e.node &&
+        due_scratch_[k - 1].msg == e.msg) {
+      // Duplicate entry: the serial loop would re-observe the first
+      // entry's effect — gone (stale) after a purge or a stale skip,
+      // still pinned after a deferral.
+      if (prev == Outcome::kDeferred) expiry_deferred_.push_back(e);
+      continue;
+    }
     Node& n = *nodes_[e.node];
-    if (!n.buffer().has(e.msg)) continue;  // stale entry
-    if (n.is_pinned(e.msg)) {
+    const bool has = parallel ? ttl_verdicts_[k].has : n.buffer().has(e.msg);
+    if (!has) {
+      prev = Outcome::kStale;
+      continue;
+    }
+    const bool pinned =
+        parallel ? ttl_verdicts_[k].pinned : n.is_pinned(e.msg);
+    if (pinned) {
+      prev = Outcome::kDeferred;
       expiry_deferred_.push_back(e);
       continue;
     }
@@ -570,6 +671,7 @@ void World::purge_ttl() {
     registry_.on_copy_removed(e.msg, e.node, /*dropped=*/false);
     ++stats_.ttl_expired;
     notify([&](WorldObserver& o) { o.on_ttl_expired(e.node, dead, now_); });
+    prev = Outcome::kPurged;
   }
   for (const ExpiryEvent& e : expiry_deferred_) {
     push_expiry(e.node, e.expiry, e.msg);
@@ -677,11 +779,13 @@ bool World::inject_message(Message m) {
 }
 
 void World::purge_acked(Node& n) {
-  std::vector<MessageId> doomed;
+  doomed_scratch_.clear();
   for (const Message& m : n.buffer().messages()) {
-    if (n.knows_delivered(m.id) && !n.is_pinned(m.id)) doomed.push_back(m.id);
+    if (n.knows_delivered(m.id) && !n.is_pinned(m.id)) {
+      doomed_scratch_.push_back(m.id);
+    }
   }
-  for (MessageId id : doomed) {
+  for (MessageId id : doomed_scratch_) {
     n.buffer().take(id);
     n.priority_cache().invalidate(id);
     registry_.on_copy_removed(id, n.id(), /*dropped=*/false);

@@ -26,6 +26,7 @@
 #include "src/core/types.hpp"
 #include "src/fault/fault_plan.hpp"
 #include "src/net/contact_tracker.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/units.hpp"
 
 namespace dtn {
@@ -60,6 +61,15 @@ struct WorldConfig {
   /// `World::digest()` trajectories match bit-for-bit — so this exists
   /// for the equivalence tests and benchmarks, not as a feature switch.
   bool legacy_step = false;
+  /// Intra-step parallelism (DESIGN.md §11): worker-thread count for the
+  /// read-mostly step phases — mobility advance, contact candidate
+  /// enumeration, watch-pair rechecks, priority prewarm, TTL candidate
+  /// classification. 0 (the default) runs everything serially on the
+  /// caller; any value produces bit-identical digest trajectories — the
+  /// parallel phases only reorder *computation*, never *application*,
+  /// and every merge is a deterministic concatenation or an exact
+  /// min/max reduction. Scenario key: `Parallel.threads`.
+  std::size_t threads = 0;
 };
 
 /// An in-flight message transmission.
@@ -174,6 +184,12 @@ class World {
   static bool eta_after(const EtaEvent& a, const EtaEvent& b);
 
   void advance_mobility();
+  /// Parallel-mode only: batch-computes the priorities the upcoming
+  /// serial start_transfers phase would derive lazily, sharded per node,
+  /// into each node's PriorityCache warm buffer (consumed on memo miss,
+  /// decision-identical either way). No-op when serial, cache off, or the
+  /// policy opts out.
+  void prewarm_priorities();
   void process_link_down(const NodePair& p);
   void process_link_up(const NodePair& p);
   void abort_transfers_on(const NodePair& p);
@@ -234,6 +250,9 @@ class World {
   };
 
   WorldConfig cfg_;
+  /// Workers for the intra-step parallel phases; nullptr when
+  /// cfg_.threads == 0 (the serial reference path).
+  std::unique_ptr<ThreadPool> pool_;
   SimTime now_ = 0.0;
   std::vector<WorldObserver*> observers_;
   std::unique_ptr<Router> router_;
@@ -263,6 +282,20 @@ class World {
   std::vector<ExpiryEvent> expiry_deferred_;  ///< purge scratch (pinned)
   std::vector<Vec2> positions_;               ///< step scratch, reused
   bool kinetics_configured_ = false;
+
+  // --- step-loop scratch, hoisted so a steady-state step allocates
+  // nothing (asserted in test_parallel_step) ---
+  struct TtlVerdict {
+    bool has = false;
+    bool pinned = false;
+  };
+  std::vector<ExpiryEvent> due_scratch_;   ///< purge_ttl: due batch, pop order
+  std::vector<TtlVerdict> ttl_verdicts_;   ///< purge_ttl: parallel verdicts
+  std::vector<NodeId> prewarm_nodes_;      ///< prewarm: deduped contact nodes
+  std::vector<Message> traffic_scratch_;   ///< generate_traffic: poll output
+  std::vector<Transfer> legacy_due_;       ///< legacy completion scan
+  std::vector<NodeId> fault_senders_;      ///< apply_fault_events: sorted view
+  std::vector<MessageId> doomed_scratch_;  ///< purge_acked / purge_on_reboot
 
   /// Keyed by the *directional* (from, to) pair, unlike the sorted
   /// NodePair convention elsewhere. std::map for deterministic

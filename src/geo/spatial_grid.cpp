@@ -66,13 +66,21 @@ void SpatialGrid::for_each_pair_within(
 void SpatialGrid::for_each_pair_within(
     double radius,
     const std::function<void(std::size_t, std::size_t, double)>& fn) const {
+  pair_scratch_.clear();
+  collect_pairs_within(radius, 0, positions_.size(), pair_scratch_);
+  for (const PairHit& h : pair_scratch_) fn(h.i, h.j, h.d2);
+}
+
+void SpatialGrid::collect_pairs_within(double radius, std::size_t begin,
+                                       std::size_t end,
+                                       std::vector<PairHit>& out) const {
   DTN_REQUIRE(radius <= cell_ + 1e-9,
               "SpatialGrid: query radius exceeds cell size");
   const double r2 = radius * radius;
-  // Collect candidate pairs, then emit them sorted so iteration order does
-  // not depend on bucket layout (determinism across libstdc++s).
-  pair_scratch_.clear();
-  for (std::size_t i = 0; i < positions_.size(); ++i) {
+  const std::size_t first = out.size();
+  // Collect candidate pairs, then sort so the emitted order does not
+  // depend on bucket layout (determinism across libstdc++s).
+  for (std::size_t i = begin; i < end && i < positions_.size(); ++i) {
     const Vec2 p = positions_[i];
     const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
     const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
@@ -85,19 +93,18 @@ void SpatialGrid::for_each_pair_within(
           if (j <= i) continue;
           const double d2 = distance2(p, positions_[j]);
           if (d2 <= r2) {
-            pair_scratch_.push_back(PairHit{static_cast<std::uint32_t>(i),
-                                            static_cast<std::uint32_t>(j), d2});
+            out.push_back(PairHit{static_cast<std::uint32_t>(i),
+                                  static_cast<std::uint32_t>(j), d2});
           }
         }
       }
     }
   }
-  std::sort(pair_scratch_.begin(), pair_scratch_.end(),
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
             [](const PairHit& a, const PairHit& b) {
               if (a.i != b.i) return a.i < b.i;
               return a.j < b.j;
             });
-  for (const PairHit& h : pair_scratch_) fn(h.i, h.j, h.d2);
 }
 
 std::vector<std::size_t> SpatialGrid::query(Vec2 p, double radius,

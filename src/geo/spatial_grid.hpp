@@ -18,6 +18,13 @@ namespace dtn {
 
 class SpatialGrid {
  public:
+  /// One candidate pair (i < j) with its squared distance.
+  struct PairHit {
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    double d2 = 0.0;
+  };
+
   /// `cell` should be >= the query radius for best performance.
   explicit SpatialGrid(double cell);
 
@@ -40,6 +47,15 @@ class SpatialGrid {
       double radius,
       const std::function<void(std::size_t, std::size_t, double)>& fn) const;
 
+  /// Appends every pair (i, j) with i in [begin, end), j > i (over the
+  /// whole grid) and distance(pi, pj) <= radius to `out`, sorted by
+  /// (i, j). Touches no shared scratch, so disjoint index ranges may run
+  /// on different threads concurrently; concatenating the outputs of an
+  /// ascending shard partition reproduces the full-range enumeration
+  /// order exactly (shards are contiguous in i and locally sorted).
+  void collect_pairs_within(double radius, std::size_t begin, std::size_t end,
+                            std::vector<PairHit>& out) const;
+
   /// Ids of nodes within `radius` of `p` (excluding `exclude` if given).
   std::vector<std::size_t> query(Vec2 p, double radius,
                                  std::size_t exclude = SIZE_MAX) const;
@@ -60,11 +76,6 @@ class SpatialGrid {
   struct Slot {
     CellKey cell = 0;
     std::uint32_t node = 0;
-  };
-  struct PairHit {
-    std::uint32_t i = 0;
-    std::uint32_t j = 0;
-    double d2 = 0.0;
   };
 
   double cell_;

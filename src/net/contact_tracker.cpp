@@ -6,6 +6,7 @@
 
 #include "src/snapshot/archive.hpp"
 #include "src/util/error.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace dtn {
 
@@ -15,6 +16,10 @@ namespace {
 constexpr double kSlackSteps = 32.0;
 /// Safety margin absorbing floating-point rounding in the budget math.
 constexpr double kBudgetEps = 1e-9;
+/// Minimum work items per shard; below this the queue overhead dominates
+/// and the update runs serially. Determinism never depends on the shard
+/// count, so this is a pure tuning knob.
+constexpr std::size_t kMinShardItems = 64;
 }  // namespace
 
 ContactTracker::ContactTracker(double range) : range_(range), grid_(range) {
@@ -62,14 +67,50 @@ const ContactChurn& ContactTracker::update(const std::vector<Vec2>& positions) {
   return churn_;
 }
 
+std::size_t ContactTracker::shard_count(std::size_t n) const {
+  if (pool_ == nullptr || pool_->size() <= 1) return 1;
+  // At least kMinShardItems of work per shard, at most 2 shards per
+  // worker (a little imbalance slack without flooding the queue).
+  return std::min(pool_->size() * 2, std::max<std::size_t>(1, n / kMinShardItems));
+}
+
 void ContactTracker::recheck_watch_pairs(const std::vector<Vec2>& positions) {
   const double r2 = range_ * range_;
-  for (WatchPair& wp : watch_) {
-    const bool in = distance2(positions[wp.i], positions[wp.j]) <= r2;
-    if (in == wp.in_contact) continue;
-    wp.in_contact = in;
-    // watch_ is sorted by (i, j), so the churn lists come out sorted.
-    (in ? churn_.went_up : churn_.went_down).emplace_back(wp.i, wp.j);
+  const std::size_t nshards = shard_count(watch_.size());
+  if (nshards > 1) {
+    // Each shard owns a contiguous slice of watch_ (sorted by (i, j)):
+    // its status writes touch disjoint elements and its churn comes out
+    // locally sorted, so concatenating shards in order reproduces the
+    // serial churn exactly.
+    if (shards_.size() < nshards) shards_.resize(nshards);
+    parallel_for_index(*pool_, nshards, 1, [&](std::size_t s) {
+      Shard& sh = shards_[s];
+      sh.ups.clear();
+      sh.downs.clear();
+      const std::size_t begin = s * watch_.size() / nshards;
+      const std::size_t end = (s + 1) * watch_.size() / nshards;
+      for (std::size_t w = begin; w < end; ++w) {
+        WatchPair& wp = watch_[w];
+        const bool in = distance2(positions[wp.i], positions[wp.j]) <= r2;
+        if (in == wp.in_contact) continue;
+        wp.in_contact = in;
+        (in ? sh.ups : sh.downs).emplace_back(wp.i, wp.j);
+      }
+    });
+    for (std::size_t s = 0; s < nshards; ++s) {
+      churn_.went_up.insert(churn_.went_up.end(), shards_[s].ups.begin(),
+                            shards_[s].ups.end());
+      churn_.went_down.insert(churn_.went_down.end(), shards_[s].downs.begin(),
+                              shards_[s].downs.end());
+    }
+  } else {
+    for (WatchPair& wp : watch_) {
+      const bool in = distance2(positions[wp.i], positions[wp.j]) <= r2;
+      if (in == wp.in_contact) continue;
+      wp.in_contact = in;
+      // watch_ is sorted by (i, j), so the churn lists come out sorted.
+      (in ? churn_.went_up : churn_.went_down).emplace_back(wp.i, wp.j);
+    }
   }
   if (churn_.went_up.empty() && churn_.went_down.empty()) return;
   next_.clear();
@@ -101,19 +142,58 @@ void ContactTracker::full_pass(const std::vector<Vec2>& positions) {
   double max_c2 = 0.0;
   next_.clear();
   watch_.clear();
-  grid_.for_each_pair_within(
-      reach, [&](std::size_t i, std::size_t j, double d2) {
-        const bool in = d2 <= r2;
-        if (in) next_.emplace_back(i, j);  // emitted in sorted (i, j) order
-        if (slack_ > 0.0 && d2 >= lo2 && d2 <= hi2) {
-          watch_.push_back({static_cast<std::uint32_t>(i),
-                            static_cast<std::uint32_t>(j), in});
+  const std::size_t nshards = shard_count(positions.size());
+  if (nshards > 1) {
+    // Shard the enumeration over contiguous ranges of the outer node
+    // index i. Each shard's pairs are locally (i, j)-sorted and shards
+    // cover ascending disjoint i ranges, so concatenation reproduces the
+    // serial enumeration order; min/max margin reductions are exact
+    // (order-free), so the resulting kinetic budget is bit-identical.
+    if (shards_.size() < nshards) shards_.resize(nshards);
+    parallel_for_index(*pool_, nshards, 1, [&](std::size_t s) {
+      Shard& sh = shards_[s];
+      sh.hits.clear();
+      sh.contacts.clear();
+      sh.watch.clear();
+      sh.min_nc2 = reach * reach;
+      sh.max_c2 = 0.0;
+      const std::size_t begin = s * positions.size() / nshards;
+      const std::size_t end = (s + 1) * positions.size() / nshards;
+      grid_.collect_pairs_within(reach, begin, end, sh.hits);
+      for (const SpatialGrid::PairHit& h : sh.hits) {
+        const bool in = h.d2 <= r2;
+        if (in) sh.contacts.emplace_back(h.i, h.j);
+        if (slack_ > 0.0 && h.d2 >= lo2 && h.d2 <= hi2) {
+          sh.watch.push_back({h.i, h.j, in});
         } else if (in) {
-          max_c2 = std::max(max_c2, d2);
+          sh.max_c2 = std::max(sh.max_c2, h.d2);
         } else {
-          min_nc2 = std::min(min_nc2, d2);
+          sh.min_nc2 = std::min(sh.min_nc2, h.d2);
         }
-      });
+      }
+    });
+    for (std::size_t s = 0; s < nshards; ++s) {
+      const Shard& sh = shards_[s];
+      next_.insert(next_.end(), sh.contacts.begin(), sh.contacts.end());
+      watch_.insert(watch_.end(), sh.watch.begin(), sh.watch.end());
+      min_nc2 = std::min(min_nc2, sh.min_nc2);
+      max_c2 = std::max(max_c2, sh.max_c2);
+    }
+  } else {
+    grid_.for_each_pair_within(
+        reach, [&](std::size_t i, std::size_t j, double d2) {
+          const bool in = d2 <= r2;
+          if (in) next_.emplace_back(i, j);  // emitted in sorted (i, j) order
+          if (slack_ > 0.0 && d2 >= lo2 && d2 <= hi2) {
+            watch_.push_back({static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j), in});
+          } else if (in) {
+            max_c2 = std::max(max_c2, d2);
+          } else {
+            min_nc2 = std::min(min_nc2, d2);
+          }
+        });
+  }
   std::set_difference(next_.begin(), next_.end(), current_.begin(),
                       current_.end(), std::back_inserter(churn_.went_up));
   std::set_difference(current_.begin(), current_.end(), next_.begin(),

@@ -34,6 +34,8 @@
 
 namespace dtn {
 
+class ThreadPool;
+
 namespace snapshot {
 class ArchiveWriter;
 class ArchiveReader;
@@ -67,6 +69,17 @@ class ContactTracker {
   /// runs a full pass); calling with an unchanged bound is a no-op, so a
   /// restored tracker keeps its checkpointed budget.
   void set_motion_bound(double bound);
+
+  /// Optional intra-update parallelism (DESIGN.md §11). When a pool with
+  /// more than one worker is attached, the candidate-pair enumeration of
+  /// a full pass and the exact recheck of the watch set are sharded over
+  /// contiguous index ranges; every shard's output is locally sorted and
+  /// the shards partition an ascending range, so concatenating them
+  /// reproduces the serial enumeration order bit-for-bit. The returned
+  /// churn, the current() set and the kinetic budget are therefore
+  /// identical at any worker count, including no pool at all (the
+  /// reference serial path). Pass nullptr to detach.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Processes one movement step; returns the link churn. Pair lists are
   /// sorted, so downstream processing is deterministic. The returned
@@ -104,8 +117,22 @@ class ContactTracker {
     bool in_contact = false;  ///< classification as of the last update
   };
 
+  /// Per-shard scratch for the parallel paths; reused between updates so
+  /// a steady-state parallel update allocates nothing once warm.
+  struct Shard {
+    std::vector<SpatialGrid::PairHit> hits;  ///< full pass: candidate pairs
+    std::vector<NodePair> contacts;          ///< full pass: in-range pairs
+    std::vector<WatchPair> watch;            ///< full pass: boundary band
+    std::vector<NodePair> ups;               ///< recheck: entered range
+    std::vector<NodePair> downs;             ///< recheck: left range
+    double min_nc2 = 0.0;                    ///< full pass: margin reduce
+    double max_c2 = 0.0;
+  };
+
   void full_pass(const std::vector<Vec2>& positions);
   void recheck_watch_pairs(const std::vector<Vec2>& positions);
+  /// Number of shards to split `n` work items into, or 1 for serial.
+  std::size_t shard_count(std::size_t n) const;
 
   double range_;
   double slack_ = 0.0;    ///< extra grid radius; 0 = skipping disabled
@@ -119,6 +146,8 @@ class ContactTracker {
   std::vector<WatchPair> watch_;   ///< sorted by (i, j)
   std::size_t updates_ = 0;
   std::size_t full_passes_ = 0;
+  ThreadPool* pool_ = nullptr;     ///< non-owning; nullptr = serial
+  std::vector<Shard> shards_;      ///< parallel scratch, reused
 };
 
 }  // namespace dtn

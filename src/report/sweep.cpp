@@ -151,7 +151,9 @@ ReplicatedMetrics run_replicated(const Scenario& base, std::size_t replicas,
     points[r] = run_scenario(sc, nullptr, per_run);
   };
   if (pool != nullptr && replicas > 1) {
-    parallel_for_index(*pool, replicas, run_one);
+    // Grain 1: each replica is a whole simulation, so chunking would only
+    // serialize work; the overload still short-circuits 1-worker pools.
+    parallel_for_index(*pool, replicas, /*grain=*/1, run_one);
   } else {
     for (std::size_t r = 0; r < replicas; ++r) run_one(r);
   }
@@ -189,8 +191,10 @@ std::vector<ReplicatedMetrics> run_sweep(const std::vector<SweepPoint>& points,
     raw[pi][r] = run_scenario(sc, nullptr, per_run, point_label(pi));
   };
   if (pool != nullptr) {
-    // Flatten point × replica into independent tasks.
-    parallel_for_index(*pool, points.size() * replicas, run_task);
+    // Flatten point × replica into independent tasks (grain 1: each task
+    // is a whole simulation).
+    parallel_for_index(*pool, points.size() * replicas, /*grain=*/1,
+                       run_task);
   } else {
     for (std::size_t t = 0; t < points.size() * replicas; ++t) run_task(t);
   }

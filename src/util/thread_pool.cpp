@@ -39,10 +39,27 @@ void ThreadPool::worker_loop() {
 
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& fn) {
+  parallel_for_index(pool, n, /*grain=*/1, fn);
+}
+
+void parallel_for_index(ThreadPool& pool, std::size_t n, std::size_t grain,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool.size() <= 1 || n <= grain) {
+    // Fast path: nothing to gain from the queue — run inline.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    futures.push_back(pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

@@ -56,4 +56,14 @@ class ThreadPool {
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& fn);
 
+/// Chunked variant for hot paths: indices are grouped into contiguous
+/// chunks of `grain`, one pool task per chunk, so per-index std::function
+/// and future allocation is amortized. When the whole range fits in one
+/// chunk or the pool has a single worker the loop runs inline on the
+/// caller — a no-op fast path with zero queue traffic. fn must tolerate
+/// concurrent invocation for indices in *different* chunks; indices
+/// within a chunk run in ascending order.
+void parallel_for_index(ThreadPool& pool, std::size_t n, std::size_t grain,
+                        const std::function<void(std::size_t)>& fn);
+
 }  // namespace dtn
