@@ -5,6 +5,7 @@
 
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/report/sweep.hpp"
@@ -21,6 +22,27 @@ inline const std::vector<std::pair<std::string, std::string>>& policies() {
       {"SDSRP", "sdsrp"},
   };
   return kPolicies;
+}
+
+/// Uniform environment stamp for every BENCH_*.json emitter: hardware
+/// thread count, source revision, and build type, so archived bench
+/// reports are comparable across machines and build configurations.
+/// Returns ready-to-splice `"key": value,` lines (one per field).
+inline std::string bench_env_json_fields(const std::string& indent = "  ") {
+#ifdef DTN_GIT_DESCRIBE
+  const std::string git = DTN_GIT_DESCRIBE;
+#else
+  const std::string git = "unknown";
+#endif
+#ifdef DTN_BUILD_TYPE
+  const std::string build = DTN_BUILD_TYPE;
+#else
+  const std::string build = "unknown";
+#endif
+  return indent + "\"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n" +
+         indent + "\"git_describe\": \"" + git + "\",\n" +
+         indent + "\"build_type\": \"" + build + "\",\n";
 }
 
 /// Paper sweep values (Tables II & III).

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/fig_common.hpp"
 #include "src/config/scenario.hpp"
 
 namespace {
@@ -103,7 +104,7 @@ int main(int argc, char** argv) {
       << "  \"scenario\": \"rwp-paper\",\n"
       << "  \"warm_s\": " << warm_s << ",\n"
       << "  \"measure_s\": " << measure_s << ",\n"
-      << "  \"hardware_threads\": " << hw << ",\n"
+      << dtn::bench::bench_env_json_fields()
       << "  \"results\": [\n"
       << rows << "\n"
       << "  ],\n"

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench/fig_common.hpp"
 #include "src/config/scenario.hpp"
 
 namespace {
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n"
+      << dtn::bench::bench_env_json_fields()
       << "  \"scenario\": \"rwp-paper\",\n"
       << "  \"policy\": \"sdsrp\",\n"
       << "  \"warm_s\": " << warm_s << ",\n"

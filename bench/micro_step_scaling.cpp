@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/fig_common.hpp"
 #include "src/config/scenario.hpp"
 
 namespace {
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n"
+      << dtn::bench::bench_env_json_fields()
       << "  \"scenario\": \"rwp-paper\",\n"
       << "  \"warm_s\": " << warm_s << ",\n"
       << "  \"measure_s\": " << measure_s << ",\n"

@@ -1,0 +1,423 @@
+#include "src/orch/coordinator.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/orch/lease.hpp"
+#include "src/orch/shard_store.hpp"
+#include "src/orch/wire.hpp"
+#include "src/util/error.hpp"
+#include "src/util/subprocess.hpp"
+
+namespace dtn::orch {
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.txt";
+}
+
+std::string progress_path(const std::string& dir) {
+  return dir + "/progress.json";
+}
+
+namespace {
+
+struct WorkerSlot {
+  ChildProcess proc;
+  LineBuffer lines;
+  bool alive = false;
+  bool said_hello = false;
+  std::uint64_t pid = 0;
+  std::size_t lease = LeaseTable::kNone;
+  std::size_t runs_done_in_lease = 0;
+  std::size_t runs_total_in_lease = 0;
+  std::size_t shards_done = 0;
+  double last_heard = 0.0;
+};
+
+/// Small monotonic clock: seconds since construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Localhost TCP listener serving the latest progress JSON as a plaintext
+/// HTTP response. Best-effort: a failed accept or write never disturbs
+/// the sweep.
+class StatusEndpoint {
+ public:
+  ~StatusEndpoint() { close(); }
+
+  int open(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return -1;
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd_, 8) != 0) {
+      close();
+      return -1;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    return ntohs(addr.sin_port);
+  }
+
+  int fd() const { return fd_; }
+
+  void serve(const std::string& body) {
+    if (fd_ < 0) return;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) return;
+    char scratch[1024];
+    ::recv(client, scratch, sizeof(scratch), MSG_DONTWAIT);  // drain request
+    std::ostringstream os;
+    os << "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
+       << "Content-Length: " << body.size() << "\r\n\r\n"
+       << body;
+    const std::string out = os.str();
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ::ssize_t n = ::send(client, out.data() + off, out.size() - off,
+                                 MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void atomic_write_text(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << text;
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+SweepOutcome run_coordinator(const SweepManifest& manifest,
+                             const std::string& dir,
+                             const CoordinatorOptions& opts) {
+  manifest.validate();
+  DTN_REQUIRE(!dir.empty(), "run_coordinator: empty sweep directory");
+  DTN_REQUIRE(opts.workers > 0, "run_coordinator: need at least one worker");
+  DTN_REQUIRE(!opts.worker_argv.empty(),
+              "run_coordinator: worker_argv not set");
+  std::filesystem::create_directories(dir);
+  manifest.save(manifest_path(dir));
+
+  // Dead workers surface as EPIPE on write_line, never as a fatal signal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  SweepOutcome outcome;
+  outcome.shards_total = manifest.shard_count();
+
+  LeaseTable leases(manifest.shard_count());
+  for (std::size_t s : scan_done_shards(dir, manifest.shard_count())) {
+    leases.preload_done(s);
+    ++outcome.shards_resumed;
+  }
+
+  auto log_line = [&opts](const std::string& line) {
+    if (opts.log != nullptr) *opts.log << "[coordinator] " << line << "\n";
+  };
+
+  StatusEndpoint endpoint;
+  if (opts.status_port >= 0) {
+    outcome.status_port = endpoint.open(opts.status_port);
+    if (outcome.status_port < 0) {
+      log_line("status endpoint unavailable");
+      outcome.status_port = 0;
+    } else {
+      std::ostringstream os;
+      os << "status endpoint on 127.0.0.1:" << outcome.status_port;
+      log_line(os.str());
+    }
+  }
+
+  Stopwatch clock;
+  std::vector<WorkerSlot> workers(opts.workers);
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    workers[w].proc = ChildProcess::spawn(opts.worker_argv);
+    workers[w].alive = true;
+    workers[w].last_heard = clock.seconds();
+    std::ostringstream os;
+    os << "spawned worker " << w << " pid " << workers[w].proc.pid();
+    log_line(os.str());
+  }
+
+  bool chaos_fired = opts.chaos_kill_after_shards == 0;
+  double next_progress = 0.0;
+  std::string progress_json = "{}";
+
+  auto shard_size_of = [&manifest](std::size_t shard) {
+    const auto [first, last] = manifest.shard_runs(shard);
+    return last - first;
+  };
+
+  auto runs_done_now = [&]() {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < leases.size(); ++s) {
+      if (leases.state(s) == LeaseTable::State::kDone) n += shard_size_of(s);
+    }
+    for (const WorkerSlot& w : workers) {
+      if (w.alive && w.lease != LeaseTable::kNone) n += w.runs_done_in_lease;
+    }
+    return n;
+  };
+
+  auto render_progress = [&]() {
+    const double elapsed = clock.seconds();
+    const std::size_t runs_done = runs_done_now();
+    const double rate = elapsed > 0.0
+                            ? static_cast<double>(runs_done) / elapsed
+                            : 0.0;
+    const std::size_t remaining = manifest.total_runs() - runs_done;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(remaining) / rate : -1.0;
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"sweep\": \"" << manifest.name << "\",\n"
+       << "  \"shards\": {\"total\": " << leases.size()
+       << ", \"done\": " << leases.done() << ", \"leased\": " << leases.leased()
+       << ", \"pending\": " << leases.pending() << "},\n"
+       << "  \"runs\": {\"total\": " << manifest.total_runs()
+       << ", \"done\": " << runs_done << "},\n"
+       << "  \"elapsed_s\": " << elapsed << ",\n"
+       << "  \"runs_per_sec\": " << rate << ",\n"
+       << "  \"eta_s\": " << eta << ",\n"
+       << "  \"shards_reassigned\": " << outcome.shards_reassigned << ",\n"
+       << "  \"workers_lost\": " << outcome.workers_lost << ",\n"
+       << "  \"workers\": [\n";
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      const WorkerSlot& ws = workers[w];
+      os << "    {\"worker\": " << w << ", \"pid\": " << ws.pid
+         << ", \"alive\": " << (ws.alive ? "true" : "false") << ", \"shard\": ";
+      if (ws.alive && ws.lease != LeaseTable::kNone) {
+        os << ws.lease << ", \"runs_done\": " << ws.runs_done_in_lease
+           << ", \"runs_total\": " << ws.runs_total_in_lease;
+      } else {
+        os << "null, \"runs_done\": 0, \"runs_total\": 0";
+      }
+      os << ", \"shards_done\": " << ws.shards_done
+         << ", \"last_heard_age_s\": " << (elapsed - ws.last_heard) << "}"
+         << (w + 1 < workers.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+  };
+
+  auto publish_progress = [&]() {
+    progress_json = render_progress();
+    atomic_write_text(progress_path(dir), progress_json);
+  };
+
+  auto handle_death = [&](std::size_t w, bool expected) {
+    WorkerSlot& ws = workers[w];
+    if (!ws.alive) return;
+    ws.alive = false;
+    int exit_code = 0;
+    ws.proc.close_stdin();
+    // Reap; a SIGKILLed child is already waitable, a clean one exits on
+    // its closed stdin.
+    if (!ws.proc.try_wait(&exit_code)) exit_code = ws.proc.wait();
+    const std::size_t requeued = leases.release_worker(w);
+    outcome.shards_reassigned += requeued;
+    ws.lease = LeaseTable::kNone;
+    if (!expected) ++outcome.workers_lost;
+    std::ostringstream os;
+    os << "worker " << w << " exited (code " << exit_code << "), re-queued "
+       << requeued << " shard(s)";
+    log_line(os.str());
+  };
+
+  auto maybe_fire_chaos = [&]() {
+    if (chaos_fired || leases.done() < opts.chaos_kill_after_shards) return;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (workers[w].alive && workers[w].lease != LeaseTable::kNone) {
+        std::ostringstream os;
+        os << "chaos: SIGKILL worker " << w << " holding shard "
+           << workers[w].lease;
+        log_line(os.str());
+        workers[w].proc.kill(SIGKILL);
+        chaos_fired = true;
+        return;
+      }
+    }
+  };
+
+  auto assign_work = [&]() {
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      WorkerSlot& ws = workers[w];
+      if (!ws.alive || !ws.said_hello || ws.lease != LeaseTable::kNone)
+        continue;
+      const std::size_t shard =
+          leases.acquire(w, clock.seconds(), opts.lease_ttl_s);
+      if (shard == LeaseTable::kNone) return;
+      ws.lease = shard;
+      ws.runs_done_in_lease = 0;
+      ws.runs_total_in_lease = shard_size_of(shard);
+      if (!ws.proc.write_line(encode(WireMessage::lease(shard)))) {
+        handle_death(w, /*expected=*/false);
+      }
+    }
+  };
+
+  auto handle_message = [&](std::size_t w, const WireMessage& msg) {
+    WorkerSlot& ws = workers[w];
+    ws.last_heard = clock.seconds();
+    switch (msg.kind) {
+      case MsgKind::kHello:
+        ws.said_hello = true;
+        ws.pid = msg.pid;
+        break;
+      case MsgKind::kHeartbeat:
+        leases.renew(msg.shard, w, clock.seconds(), opts.lease_ttl_s);
+        if (ws.lease == msg.shard) {
+          ws.runs_done_in_lease = msg.runs_done;
+          ws.runs_total_in_lease = msg.runs_total;
+        }
+        break;
+      case MsgKind::kDone: {
+        DTN_REQUIRE(
+            std::filesystem::exists(shard_result_path(dir, msg.shard)),
+            "coordinator: DONE without a shard result file");
+        leases.complete(msg.shard);
+        if (ws.lease == msg.shard) ws.lease = LeaseTable::kNone;
+        ++ws.shards_done;
+        break;
+      }
+      case MsgKind::kError: {
+        log_line("worker " + std::to_string(w) + " error: " + msg.text);
+        break;  // the worker exits next; EOF handles the lease
+      }
+      default:
+        DTN_REQUIRE(false, "coordinator: unexpected message from worker");
+    }
+  };
+
+  publish_progress();
+
+  while (!leases.all_done()) {
+    DTN_REQUIRE(opts.max_wall_s <= 0.0 || clock.seconds() < opts.max_wall_s,
+                "coordinator: wall-time budget exceeded");
+    assign_work();
+
+    // One worker may have died assigning; check liveness before polling.
+    bool any_alive = false;
+    for (const WorkerSlot& ws : workers) any_alive |= ws.alive;
+    DTN_REQUIRE(any_alive || leases.all_done(),
+                "coordinator: all workers died with shards outstanding");
+    if (leases.all_done()) break;
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (!workers[w].alive) continue;
+      fds.push_back({workers[w].proc.stdout_fd(), POLLIN, 0});
+      fd_worker.push_back(w);
+    }
+    const bool has_endpoint = endpoint.fd() >= 0;
+    if (has_endpoint) fds.push_back({endpoint.fd(), POLLIN, 0});
+
+    const int timeout_ms = 100;
+    ::poll(fds.data(), fds.size(), timeout_ms);
+
+    for (std::size_t i = 0; i < fd_worker.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t w = fd_worker[i];
+      char buf[4096];
+      bool eof = false;
+      while (true) {
+        const int n = read_available(workers[w].proc.stdout_fd(), buf,
+                                     sizeof(buf));
+        if (n < 0) break;  // drained
+        if (n == 0) {
+          eof = true;
+          break;
+        }
+        for (const std::string& line :
+             workers[w].lines.feed(buf, static_cast<std::size_t>(n))) {
+          handle_message(w, decode(line));
+        }
+      }
+      if (eof) handle_death(w, /*expected=*/false);
+    }
+
+    if (has_endpoint && (fds.back().revents & POLLIN) != 0) {
+      endpoint.serve(progress_json);
+    }
+
+    outcome.shards_reassigned += leases.expire(clock.seconds());
+    maybe_fire_chaos();
+
+    if (clock.seconds() >= next_progress) {
+      publish_progress();
+      next_progress = clock.seconds() + opts.progress_interval_s;
+    }
+  }
+
+  // Orderly shutdown: EOF on stdin asks workers to exit; stragglers are
+  // killed after a grace period so the coordinator can never hang here.
+  for (WorkerSlot& ws : workers) {
+    if (!ws.alive) continue;
+    ws.proc.write_line(encode(WireMessage::shutdown()));
+    ws.proc.close_stdin();
+  }
+  const double kill_deadline = clock.seconds() + 5.0;
+  for (WorkerSlot& ws : workers) {
+    if (!ws.alive) continue;
+    int exit_code = 0;
+    while (!ws.proc.try_wait(&exit_code)) {
+      if (clock.seconds() > kill_deadline) {
+        ws.proc.kill(SIGKILL);
+        ws.proc.wait();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ws.alive = false;
+  }
+
+  outcome.aggregates = merge_shards(manifest, dir);
+  write_results_file(results_path(dir), manifest, outcome.aggregates);
+  if (!opts.keep_files) remove_shard_files(dir, manifest.shard_count());
+  publish_progress();
+  return outcome;
+}
+
+}  // namespace dtn::orch

@@ -1,0 +1,67 @@
+// Coordinator: shards a sweep manifest across worker subprocesses,
+// leases shards with heartbeat expiry, survives worker death by
+// re-leasing (resume comes free from the shard/result/checkpoint files),
+// publishes live progress (progress.json + optional plaintext HTTP
+// endpoint), and produces the canonical merged results file — byte-
+// identical to a 1-worker uninterrupted run of the same manifest.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/orch/manifest.hpp"
+#include "src/report/sweep.hpp"
+
+namespace dtn::orch {
+
+/// Where the coordinator persists the manifest for its workers.
+std::string manifest_path(const std::string& dir);
+/// Where the coordinator rewrites live progress.
+std::string progress_path(const std::string& dir);
+
+struct CoordinatorOptions {
+  std::size_t workers = 2;
+  /// Heartbeat lease: a shard whose worker stays silent this long (wall
+  /// seconds) is re-queued. Worker death (pipe EOF) re-queues instantly;
+  /// the TTL only covers silently stuck workers.
+  double lease_ttl_s = 60.0;
+  /// Wall seconds between progress.json rewrites.
+  double progress_interval_s = 1.0;
+  /// Worker command line. Must be non-empty; the tool passes its own
+  /// binary in worker mode with manifest_path(dir)/--dir arguments.
+  std::vector<std::string> worker_argv;
+  /// Keep shard result files after the merged results file is written.
+  bool keep_files = false;
+  /// Plaintext HTTP status endpoint on 127.0.0.1: -1 disables, 0 picks an
+  /// ephemeral port (reported in SweepOutcome::status_port).
+  int status_port = -1;
+  /// Abort (killing workers) when the sweep exceeds this wall time;
+  /// 0 = unlimited. A safety net for CI.
+  double max_wall_s = 0.0;
+  /// Chaos hook for tests/CI: once this many shards have completed,
+  /// SIGKILL one worker currently holding a lease (exactly once).
+  /// 0 disables.
+  std::size_t chaos_kill_after_shards = 0;
+  /// Optional human-readable event log (lease grants, deaths, re-leases).
+  std::ostream* log = nullptr;
+};
+
+struct SweepOutcome {
+  std::vector<ReplicatedMetrics> aggregates;  ///< per sweep point
+  std::size_t shards_total = 0;
+  std::size_t shards_resumed = 0;     ///< result files found on startup
+  std::size_t shards_reassigned = 0;  ///< re-queued after death/expiry
+  std::size_t workers_lost = 0;
+  int status_port = 0;  ///< actual port when the endpoint was enabled
+};
+
+/// Runs the sweep to completion and writes results.bin into `dir`.
+/// Throws PreconditionError when every worker dies with shards still
+/// pending or the wall-time budget is exceeded.
+SweepOutcome run_coordinator(const SweepManifest& manifest,
+                             const std::string& dir,
+                             const CoordinatorOptions& opts);
+
+}  // namespace dtn::orch

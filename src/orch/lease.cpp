@@ -1,0 +1,88 @@
+#include "src/orch/lease.hpp"
+
+#include "src/util/error.hpp"
+
+namespace dtn::orch {
+
+LeaseTable::LeaseTable(std::size_t shards)
+    : states_(shards, State::kPending),
+      owners_(shards, kNone),
+      deadlines_(shards, 0.0) {
+  DTN_REQUIRE(shards > 0, "LeaseTable: need at least one shard");
+  for (std::size_t i = 0; i < shards; ++i) pending_.insert(i);
+}
+
+std::size_t LeaseTable::acquire(std::uint64_t worker, double now,
+                                double ttl_s) {
+  if (pending_.empty()) return kNone;
+  const std::size_t shard = *pending_.begin();
+  pending_.erase(pending_.begin());
+  states_[shard] = State::kLeased;
+  owners_[shard] = worker;
+  deadlines_[shard] = now + ttl_s;
+  ++leased_;
+  return shard;
+}
+
+bool LeaseTable::renew(std::size_t shard, std::uint64_t worker, double now,
+                       double ttl_s) {
+  if (shard >= states_.size() || states_[shard] != State::kLeased ||
+      owners_[shard] != worker) {
+    return false;
+  }
+  deadlines_[shard] = now + ttl_s;
+  return true;
+}
+
+bool LeaseTable::complete(std::size_t shard) {
+  DTN_REQUIRE(shard < states_.size(), "LeaseTable::complete: out of range");
+  if (states_[shard] == State::kDone) return false;
+  if (states_[shard] == State::kLeased) {
+    --leased_;
+  } else {
+    pending_.erase(shard);
+  }
+  states_[shard] = State::kDone;
+  owners_[shard] = kNone;
+  ++done_;
+  return true;
+}
+
+void LeaseTable::preload_done(std::size_t shard) {
+  DTN_REQUIRE(shard < states_.size() && states_[shard] == State::kPending,
+              "LeaseTable::preload_done: shard not pending");
+  pending_.erase(shard);
+  states_[shard] = State::kDone;
+  ++done_;
+}
+
+void LeaseTable::requeue(std::size_t shard) {
+  states_[shard] = State::kPending;
+  owners_[shard] = kNone;
+  pending_.insert(shard);
+  --leased_;
+}
+
+std::size_t LeaseTable::release_worker(std::uint64_t worker) {
+  std::size_t requeued = 0;
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    if (states_[s] == State::kLeased && owners_[s] == worker) {
+      requeue(s);
+      ++requeued;
+    }
+  }
+  return requeued;
+}
+
+std::size_t LeaseTable::expire(double now) {
+  std::size_t requeued = 0;
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    if (states_[s] == State::kLeased && deadlines_[s] < now) {
+      requeue(s);
+      ++requeued;
+    }
+  }
+  return requeued;
+}
+
+}  // namespace dtn::orch

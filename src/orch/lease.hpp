@@ -1,0 +1,70 @@
+// Lease table: coordinator-side shard bookkeeping. Shards move
+// pending -> leased -> done; a lease carries a deadline that heartbeats
+// push forward, and an expired or orphaned lease (worker death) returns
+// the shard to the pending queue. Pending shards are handed out in
+// ascending (canonical) order. Pure logic over an injected clock — no
+// I/O, no real time — so crash-recovery policy is unit-testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace dtn::orch {
+
+class LeaseTable {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  enum class State : std::uint8_t { kPending, kLeased, kDone };
+
+  explicit LeaseTable(std::size_t shards);
+
+  std::size_t size() const { return states_.size(); }
+  State state(std::size_t shard) const { return states_.at(shard); }
+  /// Worker holding the lease; kNone when not leased.
+  std::uint64_t owner(std::size_t shard) const { return owners_.at(shard); }
+
+  std::size_t pending() const { return pending_.size(); }
+  std::size_t leased() const { return leased_; }
+  std::size_t done() const { return done_; }
+  bool all_done() const { return done_ == states_.size(); }
+
+  /// Leases the lowest-numbered pending shard to `worker` until
+  /// `now + ttl_s`; kNone when nothing is pending.
+  std::size_t acquire(std::uint64_t worker, double now, double ttl_s);
+
+  /// Heartbeat: extends the lease iff `worker` still holds it.
+  bool renew(std::size_t shard, std::uint64_t worker, double now,
+             double ttl_s);
+
+  /// Completes a shard. Accepts completion from any worker (a re-leased
+  /// shard may race its original owner; results are deterministic and
+  /// written atomically, so last-reporter wins harmlessly). Returns false
+  /// when the shard was already done.
+  bool complete(std::size_t shard);
+
+  /// Marks a shard done before any lease (resume: its result file already
+  /// exists on disk).
+  void preload_done(std::size_t shard);
+
+  /// Returns every leased shard of a dead worker to the pending queue;
+  /// returns how many were re-queued.
+  std::size_t release_worker(std::uint64_t worker);
+
+  /// Re-queues every lease whose deadline has passed; returns the count.
+  std::size_t expire(double now);
+
+ private:
+  void requeue(std::size_t shard);
+
+  std::vector<State> states_;
+  std::vector<std::uint64_t> owners_;
+  std::vector<double> deadlines_;
+  std::set<std::size_t> pending_;  ///< ordered: canonical hand-out order
+  std::size_t leased_ = 0;
+  std::size_t done_ = 0;
+};
+
+}  // namespace dtn::orch

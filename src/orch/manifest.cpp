@@ -1,0 +1,126 @@
+#include "src/orch/manifest.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace dtn::orch {
+
+void SweepManifest::validate() const {
+  DTN_REQUIRE(!points.empty(), "SweepManifest: no sweep points");
+  DTN_REQUIRE(replicas > 0, "SweepManifest: replicas must be positive");
+  DTN_REQUIRE(shard_size > 0, "SweepManifest: shard_size must be positive");
+}
+
+std::size_t SweepManifest::shard_count() const {
+  return (total_runs() + shard_size - 1) / shard_size;
+}
+
+SweepManifest::RunRef SweepManifest::run_ref(std::size_t run_index) const {
+  DTN_REQUIRE(run_index < total_runs(), "SweepManifest: run out of range");
+  return {run_index / replicas, run_index % replicas};
+}
+
+Scenario SweepManifest::scenario_for(std::size_t run_index) const {
+  const RunRef ref = run_ref(run_index);
+  Scenario sc = points[ref.point].scenario;
+  sc.seed += ref.replica;
+  return sc;
+}
+
+std::string SweepManifest::label_for(std::size_t run_index) const {
+  std::ostringstream os;
+  os << 'p' << run_ref(run_index).point << '_';
+  return os.str();
+}
+
+std::pair<std::size_t, std::size_t> SweepManifest::shard_runs(
+    std::size_t shard) const {
+  DTN_REQUIRE(shard < shard_count(), "SweepManifest: shard out of range");
+  const std::size_t first = shard * shard_size;
+  return {first, std::min(first + shard_size, total_runs())};
+}
+
+std::string SweepManifest::to_text() const {
+  validate();
+  std::ostringstream os;
+  os << "# dtn_sweepd manifest v1\n"
+     << "name = " << name << "\n"
+     << "replicas = " << replicas << "\n"
+     << "shard_size = " << shard_size << "\n"
+     << "points = " << points.size() << "\n";
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    os << "%point " << i << ' ' << points[i].x << "\n"
+       << points[i].scenario.to_settings().to_text();
+  }
+  return os.str();
+}
+
+SweepManifest SweepManifest::from_text(const std::string& text) {
+  SweepManifest m;
+  std::istringstream is(text);
+  std::string line;
+  std::string header;
+  std::string block;
+  double pending_x = 0.0;
+  bool in_point = false;
+  std::size_t declared_points = 0;
+
+  auto flush_point = [&]() {
+    if (!in_point) return;
+    SweepPoint p;
+    p.x = pending_x;
+    p.scenario = Scenario::from_settings(Settings::parse(block));
+    m.points.push_back(std::move(p));
+    block.clear();
+  };
+
+  while (std::getline(is, line)) {
+    if (line.rfind("%point", 0) == 0) {
+      flush_point();
+      std::istringstream ps(line.substr(6));
+      std::size_t idx = 0;
+      DTN_REQUIRE(static_cast<bool>(ps >> idx >> pending_x),
+                  "manifest: malformed %point line");
+      DTN_REQUIRE(idx == m.points.size(), "manifest: %point out of order");
+      in_point = true;
+    } else if (in_point) {
+      block += line;
+      block += '\n';
+    } else {
+      header += line;
+      header += '\n';
+    }
+  }
+  flush_point();
+
+  const Settings h = Settings::parse(header);
+  m.name = h.get_string_or("name", "sweep");
+  m.replicas = static_cast<std::size_t>(h.get_int("replicas"));
+  m.shard_size = static_cast<std::size_t>(h.get_int("shard_size"));
+  declared_points = static_cast<std::size_t>(h.get_int("points"));
+  DTN_REQUIRE(declared_points == m.points.size(),
+              "manifest: point count mismatch");
+  m.validate();
+  return m;
+}
+
+void SweepManifest::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  DTN_REQUIRE(out.good(), "SweepManifest::save: cannot open " + path);
+  out << to_text();
+  DTN_REQUIRE(out.good(), "SweepManifest::save: write failed");
+}
+
+SweepManifest SweepManifest::load(const std::string& path) {
+  std::ifstream in(path);
+  DTN_REQUIRE(in.good(), "SweepManifest::load: cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return from_text(os.str());
+}
+
+}  // namespace dtn::orch

@@ -1,0 +1,64 @@
+// Shard result store: the durable half of the orchestrator. A finished
+// shard is persisted as an atomically written framed archive holding the
+// shard's per-point partial aggregates; the coordinator's final answer is
+// the canonical-order merge of every shard file. Because the per-point
+// aggregates are exactly mergeable (MergeStats + fixed-bin histograms),
+// the merged results file is byte-identical across any worker count,
+// scheduling interleaving, or crash/re-lease history — `cmp` on
+// results.bin is the orchestrator's equivalence oracle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/orch/manifest.hpp"
+#include "src/report/sweep.hpp"
+
+namespace dtn::orch {
+
+/// Partial aggregates of one shard, keyed by sweep-point index in
+/// ascending order (a shard's run range may span several points).
+struct ShardResult {
+  std::size_t shard = 0;
+  std::vector<std::pair<std::size_t, ReplicatedMetrics>> partials;
+};
+
+std::string shard_result_path(const std::string& dir, std::size_t shard);
+std::string results_path(const std::string& dir);
+
+/// Atomic (tmp + rename) write of a completed shard.
+void write_shard_result(const std::string& dir, const ShardResult& result);
+
+/// Loads a shard file; returns false when it does not exist. Throws on
+/// corruption — a torn file is impossible (atomic rename), a damaged one
+/// must not be silently treated as missing work.
+bool read_shard_result(const std::string& dir, std::size_t shard,
+                       ShardResult* out);
+
+/// Shard indices (ascending) whose result files already exist — the
+/// coordinator's resume scan.
+std::vector<std::size_t> scan_done_shards(const std::string& dir,
+                                          std::size_t shard_count);
+
+/// Merges every shard file in canonical (ascending shard) order into
+/// per-point aggregates. Throws when any shard file is missing.
+std::vector<ReplicatedMetrics> merge_shards(const SweepManifest& manifest,
+                                            const std::string& dir);
+
+/// Final results archive: per-point aggregates in point order, preceded
+/// by the sweep identity (name, points, replicas). Byte-comparable.
+void write_results_file(const std::string& path, const SweepManifest& manifest,
+                        const std::vector<ReplicatedMetrics>& aggregates);
+std::vector<ReplicatedMetrics> read_results_file(const std::string& path);
+
+/// Removes the per-run .ckpt/.done files of one shard (after its shard
+/// file is durable, the run markers are redundant).
+void remove_run_files(const SweepManifest& manifest, const std::string& dir,
+                      std::size_t shard);
+
+/// Removes every shard result file (after the merged results are written).
+void remove_shard_files(const std::string& dir, std::size_t shard_count);
+
+}  // namespace dtn::orch

@@ -1,0 +1,128 @@
+#include "src/orch/wire.hpp"
+
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace dtn::orch {
+
+WireMessage WireMessage::hello(std::uint64_t pid) {
+  WireMessage m;
+  m.kind = MsgKind::kHello;
+  m.pid = pid;
+  return m;
+}
+
+WireMessage WireMessage::lease(std::size_t shard) {
+  WireMessage m;
+  m.kind = MsgKind::kLease;
+  m.shard = shard;
+  return m;
+}
+
+WireMessage WireMessage::heartbeat(std::size_t shard, std::size_t done,
+                                   std::size_t total) {
+  WireMessage m;
+  m.kind = MsgKind::kHeartbeat;
+  m.shard = shard;
+  m.runs_done = done;
+  m.runs_total = total;
+  return m;
+}
+
+WireMessage WireMessage::done(std::size_t shard) {
+  WireMessage m;
+  m.kind = MsgKind::kDone;
+  m.shard = shard;
+  return m;
+}
+
+WireMessage WireMessage::shutdown() {
+  WireMessage m;
+  m.kind = MsgKind::kShutdown;
+  return m;
+}
+
+WireMessage WireMessage::error(std::string text) {
+  WireMessage m;
+  m.kind = MsgKind::kError;
+  m.text = std::move(text);
+  return m;
+}
+
+std::string encode(const WireMessage& m) {
+  std::ostringstream os;
+  switch (m.kind) {
+    case MsgKind::kHello:
+      os << "HELLO pid=" << m.pid;
+      break;
+    case MsgKind::kLease:
+      os << "LEASE shard=" << m.shard;
+      break;
+    case MsgKind::kHeartbeat:
+      os << "HEARTBEAT shard=" << m.shard << " done=" << m.runs_done
+         << " total=" << m.runs_total;
+      break;
+    case MsgKind::kDone:
+      os << "DONE shard=" << m.shard;
+      break;
+    case MsgKind::kShutdown:
+      os << "SHUTDOWN";
+      break;
+    case MsgKind::kError:
+      os << "ERROR " << m.text;
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t parse_field(std::istringstream& is, const std::string& key) {
+  std::string tok;
+  DTN_REQUIRE(static_cast<bool>(is >> tok), "wire: missing field " + key);
+  const std::string prefix = key + "=";
+  DTN_REQUIRE(tok.rfind(prefix, 0) == 0, "wire: expected " + key + "=");
+  try {
+    return std::stoull(tok.substr(prefix.size()));
+  } catch (const std::exception&) {
+    DTN_REQUIRE(false, "wire: malformed value in " + tok);
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+WireMessage decode(const std::string& line) {
+  std::istringstream is(line);
+  std::string verb;
+  DTN_REQUIRE(static_cast<bool>(is >> verb), "wire: empty message");
+  if (verb == "HELLO") {
+    return WireMessage::hello(parse_field(is, "pid"));
+  }
+  if (verb == "LEASE") {
+    return WireMessage::lease(
+        static_cast<std::size_t>(parse_field(is, "shard")));
+  }
+  if (verb == "HEARTBEAT") {
+    const auto shard = static_cast<std::size_t>(parse_field(is, "shard"));
+    const auto done = static_cast<std::size_t>(parse_field(is, "done"));
+    const auto total = static_cast<std::size_t>(parse_field(is, "total"));
+    return WireMessage::heartbeat(shard, done, total);
+  }
+  if (verb == "DONE") {
+    return WireMessage::done(
+        static_cast<std::size_t>(parse_field(is, "shard")));
+  }
+  if (verb == "SHUTDOWN") return WireMessage::shutdown();
+  if (verb == "ERROR") {
+    std::string rest;
+    std::getline(is, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+    return WireMessage::error(rest);
+  }
+  DTN_REQUIRE(false, "wire: unknown verb " + verb);
+  return {};  // unreachable
+}
+
+}  // namespace dtn::orch

@@ -1,0 +1,54 @@
+// Coordinator <-> worker wire protocol: one message per line, a verb
+// followed by key=value fields, over the worker's stdin/stdout pipes.
+// Plain text keeps the protocol inspectable (`dtn_sweepd worker` can be
+// driven by hand) and trivially framed; the payload-heavy data — shard
+// aggregates — never rides the wire at all, it goes through atomically
+// written shard files that the DONE message merely announces.
+//
+//   worker -> coordinator:  HELLO pid=<pid>
+//                           HEARTBEAT shard=<s> done=<n> total=<m>
+//                           DONE shard=<s>
+//                           ERROR <free text>
+//   coordinator -> worker:  LEASE shard=<s>
+//                           SHUTDOWN
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dtn::orch {
+
+enum class MsgKind : std::uint8_t {
+  kHello,
+  kLease,
+  kHeartbeat,
+  kDone,
+  kShutdown,
+  kError,
+};
+
+struct WireMessage {
+  MsgKind kind = MsgKind::kError;
+  std::uint64_t pid = 0;        ///< kHello
+  std::size_t shard = 0;        ///< kLease / kHeartbeat / kDone
+  std::size_t runs_done = 0;    ///< kHeartbeat
+  std::size_t runs_total = 0;   ///< kHeartbeat
+  std::string text;             ///< kError detail
+
+  static WireMessage hello(std::uint64_t pid);
+  static WireMessage lease(std::size_t shard);
+  static WireMessage heartbeat(std::size_t shard, std::size_t done,
+                               std::size_t total);
+  static WireMessage done(std::size_t shard);
+  static WireMessage shutdown();
+  static WireMessage error(std::string text);
+};
+
+/// Single line, no trailing newline.
+std::string encode(const WireMessage& m);
+
+/// Parses one line; throws PreconditionError on malformed input (a
+/// desynced peer must fail loudly, exactly like the snapshot archives).
+WireMessage decode(const std::string& line);
+
+}  // namespace dtn::orch

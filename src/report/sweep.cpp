@@ -33,14 +33,19 @@ MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out) {
   return p;
 }
 
+std::string run_file_stem(const std::string& dir, const Scenario& sc,
+                          const std::string& label) {
+  std::ostringstream os;
+  os << dir << '/' << label << sc.name << "_seed" << sc.seed;
+  return os.str();
+}
+
 namespace {
 
 /// File-name stem for one run: dir/<label><name>_seed<seed>.
 std::string run_stem(const CheckpointOptions& ckpt, const Scenario& sc,
                      const std::string& label) {
-  std::ostringstream os;
-  os << ckpt.dir << '/' << label << sc.name << "_seed" << sc.seed;
-  return os.str();
+  return run_file_stem(ckpt.dir, sc, label);
 }
 
 /// The .done marker is itself a framed archive: the final MetricPoint and
@@ -79,6 +84,84 @@ MetricPoint read_done_marker(const std::string& path, SimStats* stats_out) {
 
 }  // namespace
 
+namespace {
+
+void save_merge_stats(snapshot::ArchiveWriter& out, const MergeStats& s) {
+  const MergeStats::State st = s.export_state();
+  out.u64(st.n);
+  out.i64(st.min_q);
+  out.i64(st.max_q);
+  out.u64(st.sum_lo);
+  out.i64(st.sum_hi);
+  out.u64(st.sumsq_lo);
+  out.i64(st.sumsq_hi);
+}
+
+void load_merge_stats(snapshot::ArchiveReader& in, MergeStats& s) {
+  MergeStats::State st;
+  st.n = in.u64();
+  st.min_q = in.i64();
+  st.max_q = in.i64();
+  st.sum_lo = in.u64();
+  st.sum_hi = in.i64();
+  st.sumsq_lo = in.u64();
+  st.sumsq_hi = in.i64();
+  s.import_state(st);
+}
+
+}  // namespace
+
+void save_aggregate(snapshot::ArchiveWriter& out, const ReplicatedMetrics& m) {
+  out.begin_section("aggregate");
+  save_merge_stats(out, m.delivery_ratio);
+  save_merge_stats(out, m.avg_hopcount);
+  save_merge_stats(out, m.overhead_ratio);
+  save_merge_stats(out, m.avg_latency);
+  save_merge_stats(out, m.median_latency);
+  save_merge_stats(out, m.p95_latency);
+  // Histogram travels sparsely: layout header + (bin, count) pairs in
+  // ascending bin order — canonical bytes for canonical state.
+  const Histogram& h = m.latency_hist;
+  out.f64(h.lo());
+  out.f64(h.hi());
+  out.u64(h.bins());
+  out.u64(h.underflow());
+  out.u64(h.overflow());
+  std::uint64_t nonzero = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i)
+    if (h.count(i) != 0) ++nonzero;
+  out.u64(nonzero);
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    if (h.count(i) == 0) continue;
+    out.u64(i);
+    out.u64(h.count(i));
+  }
+  out.end_section();
+}
+
+void load_aggregate(snapshot::ArchiveReader& in, ReplicatedMetrics& m) {
+  in.begin_section("aggregate");
+  load_merge_stats(in, m.delivery_ratio);
+  load_merge_stats(in, m.avg_hopcount);
+  load_merge_stats(in, m.overhead_ratio);
+  load_merge_stats(in, m.avg_latency);
+  load_merge_stats(in, m.median_latency);
+  load_merge_stats(in, m.p95_latency);
+  const double lo = in.f64();
+  const double hi = in.f64();
+  const auto bins = static_cast<std::size_t>(in.u64());
+  Histogram h(lo, hi, bins);
+  h.add_underflow(static_cast<std::size_t>(in.u64()));
+  h.add_overflow(static_cast<std::size_t>(in.u64()));
+  const std::uint64_t nonzero = in.u64();
+  for (std::uint64_t i = 0; i < nonzero; ++i) {
+    const auto bin = static_cast<std::size_t>(in.u64());
+    h.add_count(bin, static_cast<std::size_t>(in.u64()));
+  }
+  m.latency_hist = h;
+  in.end_section();
+}
+
 MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out,
                          const CheckpointOptions& ckpt,
                          const std::string& label) {
@@ -90,6 +173,10 @@ MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out,
   const std::string done_path = stem + ".done";
 
   if (std::filesystem::exists(done_path)) {
+    // Checkpoint hygiene: a worker that died between writing the marker
+    // and removing its checkpoint leaves a stale .ckpt behind; drop it on
+    // resume so a completed run never keeps both files.
+    std::remove(ckpt_path.c_str());
     return read_done_marker(done_path, stats_out);
   }
 
@@ -116,6 +203,7 @@ MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out,
           [&delivered](snapshot::ArchiveWriter& out) {
             delivered.save_state(out);
           });
+      if (ckpt.on_progress) ckpt.on_progress(world->now());
     }
   }
 

@@ -9,10 +9,16 @@
 
 #include "src/config/scenario.hpp"
 #include "src/core/sim_stats.hpp"
+#include "src/util/histogram.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace dtn {
+
+namespace snapshot {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace snapshot
 
 /// The paper's three headline metrics plus delay, from one finished run.
 struct MetricPoint {
@@ -34,9 +40,20 @@ struct CheckpointOptions {
   std::string dir;         ///< empty = checkpointing disabled
   double interval_s = 0.0; ///< simulated seconds between saves; <=0 disables
   bool keep_files = false; ///< keep .ckpt/.done after a completed run
+  /// Optional liveness hook, called after every periodic checkpoint save
+  /// with the current simulated time. Orchestrator workers heartbeat from
+  /// here so a lease stays fresh through a single long run. Never called
+  /// for runs skipped via an existing .done marker.
+  std::function<void(double sim_now)> on_progress;
 
   bool enabled() const { return !dir.empty() && interval_s > 0.0; }
 };
+
+/// File-name stem `<dir>/<label><name>_seed<seed>` of one checkpointed
+/// run (the .ckpt/.done paths append their extension). Exposed so the
+/// sweep orchestrator can resume and clean up run files it did not write.
+std::string run_file_stem(const std::string& dir, const Scenario& sc,
+                          const std::string& label);
 
 /// Builds, runs and summarizes one scenario.
 MetricPoint run_scenario(const Scenario& sc);
@@ -51,14 +68,30 @@ MetricPoint run_scenario(const Scenario& sc, SimStats* stats_out,
                          const CheckpointOptions& ckpt,
                          const std::string& label = "");
 
+/// Fixed, scenario-independent binning for the cross-run latency
+/// histogram: [0, 12 h) at 10 s resolution. Every aggregate uses the same
+/// layout so shard partials merge exactly.
+inline constexpr double kLatencyHistLo = 0.0;
+inline constexpr double kLatencyHistHi = 43200.0;
+inline constexpr std::size_t kLatencyHistBins = 4320;
+
 /// Aggregate over replicas (seeds base.seed, base.seed+1, ...).
+///
+/// Backed by exactly-mergeable accumulators (MergeStats running moments +
+/// a fixed-bin latency histogram), so shard-local partials combined in
+/// canonical shard order are bit-identical to sequential accumulation —
+/// the sweep orchestrator's determinism guarantee (DESIGN.md §12) rests
+/// on this struct, not on run scheduling.
 struct ReplicatedMetrics {
-  RunningStats delivery_ratio;
-  RunningStats avg_hopcount;
-  RunningStats overhead_ratio;
-  RunningStats avg_latency;
-  RunningStats median_latency;
-  RunningStats p95_latency;
+  MergeStats delivery_ratio;
+  MergeStats avg_hopcount;
+  MergeStats overhead_ratio;
+  MergeStats avg_latency;
+  MergeStats median_latency;
+  MergeStats p95_latency;
+  /// Distribution of per-run average latencies (s) for mergeable
+  /// cross-run quantiles: latency_hist.quantile(0.5) etc.
+  Histogram latency_hist{kLatencyHistLo, kLatencyHistHi, kLatencyHistBins};
 
   void add(const MetricPoint& p) {
     delivery_ratio.add(p.delivery_ratio);
@@ -67,6 +100,18 @@ struct ReplicatedMetrics {
     avg_latency.add(p.avg_latency);
     median_latency.add(p.median_latency);
     p95_latency.add(p.p95_latency);
+    latency_hist.add(p.avg_latency);
+  }
+
+  /// Exact shard-combine: field-wise integer merges, order-insensitive.
+  void merge(const ReplicatedMetrics& other) {
+    delivery_ratio.merge(other.delivery_ratio);
+    avg_hopcount.merge(other.avg_hopcount);
+    overhead_ratio.merge(other.overhead_ratio);
+    avg_latency.merge(other.avg_latency);
+    median_latency.merge(other.median_latency);
+    p95_latency.merge(other.p95_latency);
+    latency_hist.merge(other.latency_hist);
   }
 
   MetricPoint mean() const {
@@ -74,7 +119,16 @@ struct ReplicatedMetrics {
             overhead_ratio.mean(),  avg_latency.mean(),
             median_latency.mean(),  p95_latency.mean()};
   }
+
+  friend bool operator==(const ReplicatedMetrics&,
+                         const ReplicatedMetrics&) = default;
 };
+
+/// Canonical archive round-trip for aggregates (shard result files, the
+/// orchestrator's merged results file). The encoding is a pure function
+/// of accumulator state, so equal aggregates serialize to equal bytes.
+void save_aggregate(snapshot::ArchiveWriter& out, const ReplicatedMetrics& m);
+void load_aggregate(snapshot::ArchiveReader& in, ReplicatedMetrics& m);
 
 /// Runs `replicas` independent replications of `base` (only the seed
 /// differs). When `pool` is non-null the replicas run concurrently;

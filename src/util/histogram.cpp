@@ -55,6 +55,48 @@ std::vector<double> Histogram::ccdf() const {
   return out;
 }
 
+void Histogram::add_count(std::size_t bin, std::size_t count) {
+  counts_.at(bin) += count;
+  total_ += count;
+}
+
+void Histogram::add_underflow(std::size_t count) {
+  underflow_ += count;
+  total_ += count;
+}
+
+void Histogram::add_overflow(std::size_t count) {
+  overflow_ += count;
+  total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  DTN_REQUIRE(lo_ == other.lo_ && hi_ == other.hi_ &&
+                  counts_.size() == other.counts_.size(),
+              "Histogram::merge: binning mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::quantile(double q) const {
+  DTN_REQUIRE(q >= 0.0 && q <= 1.0, "Histogram::quantile: q out of [0,1]");
+  if (total_ == 0) return lo_;
+  const double rank = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (rank <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c > 0.0 && rank <= cum + c) {
+      const double frac = (rank - cum) / c;
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
 ExponentialFit fit_exponential(const std::vector<double>& samples,
                                std::size_t ccdf_points) {
   ExponentialFit fit;

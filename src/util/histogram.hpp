@@ -37,6 +37,24 @@ class Histogram {
   /// i.e. P(X >= edge). Useful for log-linear exponentiality checks.
   std::vector<double> ccdf() const;
 
+  /// Bulk-add primitives (exact integer count adds, so any merge order or
+  /// sharding reproduces identical state — the property the sweep
+  /// orchestrator's aggregate files rely on). Also the restore path for
+  /// serialized histograms.
+  void add_count(std::size_t bin, std::size_t count);
+  void add_underflow(std::size_t count);
+  void add_overflow(std::size_t count);
+
+  /// Merges a histogram with identical binning (throws otherwise).
+  void merge(const Histogram& other);
+
+  /// Quantile estimate from the binned counts (q in [0,1]): linear
+  /// interpolation inside the covering bin; underflow mass sits at lo,
+  /// overflow mass at hi. Returns lo for an empty histogram.
+  double quantile(double q) const;
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
  private:
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;

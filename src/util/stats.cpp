@@ -37,6 +37,89 @@ double RunningStats::ci95_half_width() const {
   return 1.959964 * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
+void MergeStats::add(double x) {
+  DTN_REQUIRE(std::isfinite(x), "MergeStats::add: non-finite sample");
+  DTN_REQUIRE(std::abs(x) <= kMaxAbs, "MergeStats::add: sample out of range");
+  const std::int64_t q = std::llround(x * kScale);
+  if (n_ == 0) {
+    min_q_ = q;
+    max_q_ = q;
+  } else {
+    min_q_ = std::min(min_q_, q);
+    max_q_ = std::max(max_q_, q);
+  }
+  ++n_;
+  sum_q_ += static_cast<i128>(q);
+  sumsq_q_ += static_cast<i128>(q) * static_cast<i128>(q);
+}
+
+void MergeStats::merge(const MergeStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_q_ = std::min(min_q_, other.min_q_);
+  max_q_ = std::max(max_q_, other.max_q_);
+  n_ += other.n_;
+  sum_q_ += other.sum_q_;
+  sumsq_q_ += other.sumsq_q_;
+}
+
+double MergeStats::mean() const {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(sum_q_) / (static_cast<double>(n_) * kScale);
+}
+
+double MergeStats::variance() const {
+  if (n_ < 2) return 0.0;
+  // (sumsq - sum^2/n) / (n-1), evaluated in doubles; the conversion from
+  // the exact integer sums is a pure function of the accumulator state,
+  // so equal states always report equal variances.
+  const double n = static_cast<double>(n_);
+  const double s = static_cast<double>(sum_q_);
+  const double ss = static_cast<double>(sumsq_q_);
+  const double var_q = (ss - s * s / n) / (n - 1.0);
+  return std::max(0.0, var_q) / (kScale * kScale);
+}
+
+double MergeStats::min() const {
+  return n_ ? static_cast<double>(min_q_) / kScale : 0.0;
+}
+
+double MergeStats::max() const {
+  return n_ ? static_cast<double>(max_q_) / kScale : 0.0;
+}
+
+double MergeStats::sum() const { return static_cast<double>(sum_q_) / kScale; }
+
+double MergeStats::ci95_half_width() const {
+  if (n_ < 2) return 0.0;
+  return 1.959964 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+MergeStats::State MergeStats::export_state() const {
+  State s;
+  s.n = n_;
+  s.min_q = min_q_;
+  s.max_q = max_q_;
+  s.sum_lo = static_cast<std::uint64_t>(sum_q_);
+  s.sum_hi = static_cast<std::int64_t>(sum_q_ >> 64);
+  s.sumsq_lo = static_cast<std::uint64_t>(sumsq_q_);
+  s.sumsq_hi = static_cast<std::int64_t>(sumsq_q_ >> 64);
+  return s;
+}
+
+void MergeStats::import_state(const State& s) {
+  n_ = s.n;
+  min_q_ = s.min_q;
+  max_q_ = s.max_q;
+  sum_q_ = (static_cast<i128>(s.sum_hi) << 64) |
+           static_cast<i128>(s.sum_lo);
+  sumsq_q_ = (static_cast<i128>(s.sumsq_hi) << 64) |
+             static_cast<i128>(s.sumsq_lo);
+}
+
 StatSummary summarize(const RunningStats& s) {
   StatSummary out;
   out.count = s.count();

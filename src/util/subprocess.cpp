@@ -1,0 +1,160 @@
+#include "src/util/subprocess.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/util/error.hpp"
+
+namespace dtn {
+
+ChildProcess::~ChildProcess() { close_fds(); }
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      stdin_fd_(std::exchange(other.stdin_fd_, -1)),
+      stdout_fd_(std::exchange(other.stdout_fd_, -1)) {}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    close_fds();
+    pid_ = std::exchange(other.pid_, -1);
+    stdin_fd_ = std::exchange(other.stdin_fd_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+  }
+  return *this;
+}
+
+void ChildProcess::close_fds() {
+  if (stdin_fd_ >= 0) ::close(stdin_fd_);
+  if (stdout_fd_ >= 0) ::close(stdout_fd_);
+  stdin_fd_ = -1;
+  stdout_fd_ = -1;
+}
+
+ChildProcess ChildProcess::spawn(const std::vector<std::string>& argv) {
+  DTN_REQUIRE(!argv.empty(), "ChildProcess::spawn: empty argv");
+  int in_pipe[2] = {-1, -1};   // parent writes -> child stdin
+  int out_pipe[2] = {-1, -1};  // child stdout -> parent reads
+  DTN_REQUIRE(::pipe(in_pipe) == 0, "ChildProcess::spawn: pipe failed");
+  if (::pipe(out_pipe) != 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    DTN_REQUIRE(false, "ChildProcess::spawn: pipe failed");
+  }
+
+  const int pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]})
+      ::close(fd);
+    DTN_REQUIRE(false, "ChildProcess::spawn: fork failed");
+  }
+
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout and exec.
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]})
+      ::close(fd);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv)
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    // exec failed: exit hard without running parent-owned destructors.
+    ::_exit(127);
+  }
+
+  ChildProcess p;
+  p.pid_ = pid;
+  p.stdin_fd_ = in_pipe[1];
+  p.stdout_fd_ = out_pipe[0];
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  // The coordinator multiplexes many children; its reads must not block.
+  const int flags = ::fcntl(p.stdout_fd_, F_GETFL, 0);
+  ::fcntl(p.stdout_fd_, F_SETFL, flags | O_NONBLOCK);
+  return p;
+}
+
+bool ChildProcess::write_line(const std::string& line) {
+  if (stdin_fd_ < 0) return false;
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    // MSG_NOSIGNAL is socket-only; suppress SIGPIPE process-wide instead
+    // (the orchestrator ignores it — see Coordinator) and report EPIPE.
+    const ::ssize_t n = ::write(stdin_fd_, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void ChildProcess::close_stdin() {
+  if (stdin_fd_ >= 0) ::close(stdin_fd_);
+  stdin_fd_ = -1;
+}
+
+void ChildProcess::kill(int sig) {
+  if (pid_ > 0) ::kill(pid_, sig);
+}
+
+bool ChildProcess::try_wait(int* exit_code) {
+  if (pid_ <= 0) return true;
+  int status = 0;
+  const int r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == 0) return false;
+  pid_ = -1;
+  if (exit_code != nullptr) {
+    *exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                   : -(WIFSIGNALED(status) ? WTERMSIG(status)
+                                                           : 1);
+  }
+  return true;
+}
+
+int ChildProcess::wait() {
+  if (pid_ <= 0) return -1;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  pid_ = -1;
+  return WIFEXITED(status)
+             ? WEXITSTATUS(status)
+             : -(WIFSIGNALED(status) ? WTERMSIG(status) : 1);
+}
+
+std::vector<std::string> LineBuffer::feed(const char* data, std::size_t n) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      lines.push_back(std::move(partial_));
+      partial_.clear();
+    } else if (c != '\r') {
+      partial_.push_back(c);
+    }
+  }
+  return lines;
+}
+
+int read_available(int fd, char* buf, std::size_t cap) {
+  while (true) {
+    const ::ssize_t n = ::read(fd, buf, cap);
+    if (n >= 0) return static_cast<int>(n);
+    if (errno == EINTR) continue;
+    return -1;  // EAGAIN/EWOULDBLOCK or hard error: nothing available now
+  }
+}
+
+}  // namespace dtn

@@ -1,0 +1,84 @@
+// Minimal POSIX subprocess + pipe helpers for the sweep orchestrator:
+// fork/exec a worker with its stdin/stdout attached to pipes, feed it
+// command lines, and read back newline-delimited event lines without
+// blocking the coordinator's poll loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtn {
+
+/// A child process with piped stdin/stdout (stderr is inherited so worker
+/// diagnostics land in the coordinator's stderr). Move-only; the
+/// destructor closes the pipes but does not kill or reap the child —
+/// callers own the lifecycle via kill()/wait().
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ~ChildProcess();
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  /// fork/execs `argv` (argv[0] is the binary path). Throws
+  /// PreconditionError when the pipes or fork fail; exec failure
+  /// terminates the child, which the caller observes as EOF + nonzero
+  /// exit status.
+  static ChildProcess spawn(const std::vector<std::string>& argv);
+
+  bool running() const { return pid_ > 0; }
+  int pid() const { return pid_; }
+  /// Read end of the child's stdout (valid while running).
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Writes `line` plus '\n' to the child's stdin. Returns false when the
+  /// pipe is broken (child died); never raises SIGPIPE.
+  bool write_line(const std::string& line);
+
+  /// Closes the child's stdin (EOF tells a well-behaved worker to exit).
+  void close_stdin();
+
+  /// Sends a signal (e.g. SIGKILL for chaos testing). No-op when not
+  /// running.
+  void kill(int sig);
+
+  /// Non-blocking reap. Returns true when the child has exited (pid()
+  /// becomes invalid afterwards); fills `*exit_code` with the exit status
+  /// or -signal for abnormal termination.
+  bool try_wait(int* exit_code);
+
+  /// Blocking reap; returns the exit status (or -signal).
+  int wait();
+
+ private:
+  void close_fds();
+
+  int pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+};
+
+/// Incremental splitter for newline-delimited protocol streams: feed it
+/// raw chunks as they arrive, it hands back complete lines (without the
+/// terminator) in arrival order.
+class LineBuffer {
+ public:
+  /// Appends a chunk; returns every line completed by it.
+  std::vector<std::string> feed(const char* data, std::size_t n);
+
+  /// Unterminated tail (useful for diagnostics on EOF).
+  const std::string& partial() const { return partial_; }
+
+ private:
+  std::string partial_;
+};
+
+/// Reads whatever is currently available from `fd` into `buf` (up to
+/// `cap`). Returns the byte count, 0 on EOF, and -1 when the read would
+/// block or was interrupted.
+int read_available(int fd, char* buf, std::size_t cap);
+
+}  // namespace dtn

@@ -503,12 +503,15 @@ TEST(ReplicatedMetricsFix, MeanCarriesLatencyQuantiles) {
   agg.add(a);
   agg.add(b);
   const MetricPoint m = agg.mean();
-  EXPECT_DOUBLE_EQ(m.delivery_ratio, 0.6);
-  EXPECT_DOUBLE_EQ(m.avg_hopcount, 3.0);
-  EXPECT_DOUBLE_EQ(m.overhead_ratio, 4.0);
-  EXPECT_DOUBLE_EQ(m.avg_latency, 120.0);
-  EXPECT_DOUBLE_EQ(m.median_latency, 100.0);
-  EXPECT_DOUBLE_EQ(m.p95_latency, 240.0);
+  // Aggregates are exactly mergeable via 2^20 fixed-point quantization
+  // (DESIGN.md §12), so means carry a <= 2^-21 absolute rounding error.
+  constexpr double kQuant = 1e-5;
+  EXPECT_NEAR(m.delivery_ratio, 0.6, kQuant);
+  EXPECT_NEAR(m.avg_hopcount, 3.0, kQuant);
+  EXPECT_NEAR(m.overhead_ratio, 4.0, kQuant);
+  EXPECT_NEAR(m.avg_latency, 120.0, kQuant);
+  EXPECT_NEAR(m.median_latency, 100.0, kQuant);
+  EXPECT_NEAR(m.p95_latency, 240.0, kQuant);
 }
 
 }  // namespace
