@@ -4,86 +4,34 @@
 // Setup: Table II world with effectively infinite buffers and Epidemic
 // routing; a single message is injected at t=0 and its infection count
 // n_i(t) (from the global registry) is tracked. Theory predicts the
-// logistic I(t) with λ taken from the *observed* intermeeting fit
-// (Fig. 3). Agreement here means the kernel's mobility + contact +
-// transfer pipeline reproduces the stochastic model the paper's own
-// analysis assumes.
+// logistic I(t) with λ taken from the *observed* contact census.
+// Agreement here means the kernel's mobility + contact + transfer
+// pipeline reproduces the stochastic model the paper's own analysis
+// assumes. The harness itself lives in src/report/delay_oracle so the
+// toleranced ctest (tests/test_delay_oracle) gates the same numbers this
+// binary prints.
 //
 //   ./abl_ode_validation [seeds]
 #include <iostream>
 
-#include "src/config/scenario.hpp"
-#include "src/report/observers.hpp"
-#include "src/sdsrp/epidemic_ode.hpp"
-#include "src/util/stats.hpp"
+#include "src/report/delay_oracle.hpp"
 #include "src/util/table.hpp"
 
 int main(int argc, char** argv) {
-  const std::size_t seeds =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 5;
+  dtn::EpidemicOdeOracleConfig cfg;
+  if (argc > 1) cfg.seeds = static_cast<std::size_t>(std::stoul(argv[1]));
 
-  dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
-  sc.router = "epidemic";
-  sc.policy = "fifo";
-  sc.buffer_capacity = 1'000'000'000;        // no buffer constraint
-  sc.traffic.interval_min = 1e9;             // no background traffic
-  sc.traffic.interval_max = 1.1e9;
-  sc.world.collect_intermeeting = true;
+  const dtn::EpidemicOdeOracleResult r = dtn::run_epidemic_ode_oracle(cfg);
 
-  const std::vector<double> checkpoints = {250,  500,  750,  1000, 1500,
-                                           2000, 3000, 4000, 6000, 9000};
-  std::vector<dtn::RunningStats> measured(checkpoints.size());
-  dtn::RunningStats observed_ei;
-  double total_contacts = 0.0;
-
-  for (std::size_t s = 0; s < seeds; ++s) {
-    dtn::Scenario run = sc;
-    run.seed = sc.seed + s;
-    auto world = dtn::build_world(run);
-    dtn::ContactReport contacts;
-    world->add_observer(&contacts);
-
-    dtn::Message m;
-    m.id = 1;
-    m.source = 0;
-    m.destination = 1;
-    m.size = 1000;  // tiny: transfer time negligible, as the ODE assumes
-    m.created = 0.0;
-    m.ttl = 1e9;
-    m.copies = 1;
-    m.initial_copies = 1;
-    if (!world->inject_message(m)) return 1;
-
-    for (std::size_t k = 0; k < checkpoints.size(); ++k) {
-      world->run_until(checkpoints[k]);
-      measured[k].add(world->registry().n_holding(1));
-    }
-    world->run_until(sc.world.duration);  // full horizon for the λ census
-    for (double x : world->intermeeting_samples()) observed_ei.add(x);
-    total_contacts += static_cast<double>(contacts.total_contacts());
-  }
-
-  // Population MLE of the pairwise meeting rate: meetings per pair-second
-  // of exposure. Unlike the naive mean of *completed* gaps (length-biased
-  // low — see DESIGN.md §4), this matches the rate the ODE is driven by.
-  const double pairs = static_cast<double>(sc.n_nodes) *
-                       static_cast<double>(sc.n_nodes - 1) / 2.0;
-  const double lambda =
-      total_contacts / static_cast<double>(seeds) /
-      (pairs * sc.world.duration);
-  std::cout << "Epidemic spreading vs the ODE model (ref [13]), " << seeds
-            << " seeds\n"
-            << "naive observed E(I) = " << observed_ei.mean()
-            << " s (length-biased); population-MLE lambda = " << lambda
-            << " /s (E(I) = " << 1.0 / lambda << " s)\n\n";
+  std::cout << "Epidemic spreading vs the ODE model (ref [13]), "
+            << cfg.seeds << " seeds\n"
+            << "naive observed E(I) = " << r.naive_ei
+            << " s (length-biased); population-MLE lambda = " << r.lambda
+            << " /s (E(I) = " << 1.0 / r.lambda << " s)\n\n";
 
   dtn::Table t({"t_s", "simulated I(t)", "±", "ODE I(t)", "ratio"});
-  for (std::size_t k = 0; k < checkpoints.size(); ++k) {
-    const double ode = dtn::sdsrp::epidemic_infected(
-        static_cast<double>(sc.n_nodes), lambda, 1.0, checkpoints[k]);
-    const double sim = measured[k].mean();
-    t.add_row({checkpoints[k], sim, measured[k].ci95_half_width(), ode,
-               ode > 0 ? sim / ode : 0.0});
+  for (const auto& p : r.points) {
+    t.add_row({p.t, p.sim_mean, p.sim_ci95, p.ode, p.ratio()});
   }
   t.set_precision(2);
   t.print(std::cout);

@@ -70,6 +70,9 @@ Settings Scenario::to_settings() const {
   put_i("Traffic.sizeMaxBytes", traffic.size_max);
   put_d("Traffic.ttl", traffic.ttl);
   put_i("Traffic.copies", traffic.initial_copies);
+  put_d("Traffic.start", traffic.start);
+  // Default is +inf (never stop); std::to_string/stod round-trip "inf".
+  put_d("Traffic.stop", traffic.stop);
   s.set("Mobility.model", mobility);
   put_d("Mobility.areaWidth", rwp.area.width());
   put_d("Mobility.areaHeight", rwp.area.height());
@@ -137,6 +140,8 @@ Scenario Scenario::from_settings(const Settings& s) {
   sc.traffic.ttl = s.get_double_or("Traffic.ttl", sc.traffic.ttl);
   sc.traffic.initial_copies = static_cast<int>(
       s.get_int_or("Traffic.copies", sc.traffic.initial_copies));
+  sc.traffic.start = s.get_double_or("Traffic.start", sc.traffic.start);
+  sc.traffic.stop = s.get_double_or("Traffic.stop", sc.traffic.stop);
   sc.mobility = s.get_string_or("Mobility.model", sc.mobility);
   const double w = s.get_double_or("Mobility.areaWidth", sc.rwp.area.width());
   const double h =

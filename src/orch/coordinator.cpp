@@ -1,5 +1,6 @@
 #include "src/orch/coordinator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -221,8 +222,22 @@ SweepOutcome run_coordinator(const SweepManifest& manifest,
        << "  \"runs_per_sec\": " << rate << ",\n"
        << "  \"eta_s\": " << eta << ",\n"
        << "  \"shards_reassigned\": " << outcome.shards_reassigned << ",\n"
-       << "  \"workers_lost\": " << outcome.workers_lost << ",\n"
-       << "  \"workers\": [\n";
+       << "  \"workers_lost\": " << outcome.workers_lost << ",\n";
+    // Latency-histogram health, available once the aggregates are merged
+    // (the final publish): points whose p95 rank fell into overflow report
+    // only a lower bound, so consumers must not read the ceiling as a
+    // measurement.
+    if (!outcome.aggregates.empty()) {
+      double max_overflow = 0.0;
+      std::size_t saturated_p95 = 0;
+      for (const ReplicatedMetrics& a : outcome.aggregates) {
+        max_overflow = std::max(max_overflow, a.latency_overflow_fraction());
+        if (a.latency_hist.quantile_checked(0.95).saturated) ++saturated_p95;
+      }
+      os << "  \"latency_hist\": {\"max_overflow_fraction\": " << max_overflow
+         << ", \"saturated_p95_points\": " << saturated_p95 << "},\n";
+    }
+    os << "  \"workers\": [\n";
     for (std::size_t w = 0; w < workers.size(); ++w) {
       const WorkerSlot& ws = workers[w];
       os << "    {\"worker\": " << w << ", \"pid\": " << ws.pid

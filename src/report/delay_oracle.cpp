@@ -1,0 +1,223 @@
+#include "src/report/delay_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/report/observers.hpp"
+#include "src/sdsrp/epidemic_ode.hpp"
+#include "src/util/error.hpp"
+#include "src/util/stats.hpp"
+
+namespace dtn {
+
+namespace {
+
+/// Population MLE of the pairwise meeting rate: meeting events per
+/// pair-second of exposure. Unlike the naive mean of *completed* gaps
+/// (length-biased low — DESIGN.md §4), this is the rate the stochastic
+/// models are driven by.
+double census_lambda(double total_contacts, std::size_t n_nodes,
+                     double exposure_s) {
+  const double pairs = static_cast<double>(n_nodes) *
+                       static_cast<double>(n_nodes - 1) / 2.0;
+  return total_contacts / (pairs * exposure_s);
+}
+
+/// Empirical quantile of a censored sample: `sorted` delivered delays out
+/// of `total` eligible; returns `horizon` when the rank falls into the
+/// censored mass.
+double censored_quantile(const std::vector<double>& sorted, std::size_t total,
+                         double q, double horizon) {
+  const double rank = q * static_cast<double>(total);
+  const auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx == 0) return sorted.empty() ? horizon : sorted.front();
+  if (idx > sorted.size()) return horizon;
+  return sorted[idx - 1];
+}
+
+}  // namespace
+
+Scenario spray_delay_oracle_scenario(const SprayDelayOracleConfig& cfg,
+                                     std::uint64_t seed) {
+  DTN_REQUIRE(cfg.n_nodes >= 3, "spray oracle: need at least three nodes");
+  DTN_REQUIRE(cfg.copies >= 1, "spray oracle: copy budget must be positive");
+  DTN_REQUIRE(cfg.horizon_s > 0.0 && cfg.create_window_s > 0.0,
+              "spray oracle: window and horizon must be positive");
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.name = "spray-delay-oracle";
+  sc.n_nodes = cfg.n_nodes;
+  sc.rwp.area = Rect::sized(cfg.area_width, cfg.area_height);
+  sc.world.duration = cfg.duration_s();
+  sc.router = "spray-and-wait";          // binary mode (the paper's)
+  sc.policy = "fifo";
+  sc.buffer_capacity = 1'000'000'000;    // unconstrained: no drops
+  sc.traffic.size = 1000;                // transfer time ≈ one step
+  sc.traffic.ttl = 1e9;                  // no expiry inside the horizon
+  sc.traffic.initial_copies = cfg.copies;
+  sc.traffic.interval_min = cfg.traffic_interval_min;
+  sc.traffic.interval_max = cfg.traffic_interval_max;
+  sc.traffic.start = 0.0;
+  sc.traffic.stop = cfg.create_window_s;
+  sc.seed = seed;
+  return sc;
+}
+
+double censored_ks_distance(const sdsrp::SprayWaitDelayModel& model,
+                            std::vector<double> delays, std::size_t total,
+                            double horizon) {
+  DTN_REQUIRE(total >= delays.size(),
+              "ks: total must cover the delivered samples");
+  DTN_REQUIRE(total > 0, "ks: no samples");
+  std::sort(delays.begin(), delays.end());
+  // One integration pass evaluates F at every sample point + the horizon.
+  std::vector<double> ts = delays;
+  ts.push_back(horizon);
+  const std::vector<double> f = model.cdf(ts);
+  const auto m = static_cast<double>(total);
+  double d = 0.0;
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    // Compare both sides of the empirical step at each sample.
+    const double lo = static_cast<double>(i) / m;
+    const double hi = static_cast<double>(i + 1) / m;
+    d = std::max(d, std::abs(f[i] - lo));
+    d = std::max(d, std::abs(f[i] - hi));
+  }
+  // Between the last delivery and the horizon the empirical CDF is flat
+  // at delivered/total while F keeps rising: check the horizon endpoint.
+  d = std::max(d, std::abs(f.back() -
+                           static_cast<double>(delays.size()) / m));
+  return d;
+}
+
+SprayDelayOracleResult run_spray_delay_oracle(
+    const SprayDelayOracleConfig& cfg) {
+  DTN_REQUIRE(cfg.seeds >= 1, "spray oracle: need at least one seed");
+  std::vector<double> delays;
+  std::size_t created = 0;
+  double total_contacts = 0.0;
+
+  for (std::size_t s = 0; s < cfg.seeds; ++s) {
+    const Scenario sc =
+        spray_delay_oracle_scenario(cfg, cfg.base_seed + s);
+    auto world = build_world(sc);
+    DelayCdfReport delay_report(0.0, cfg.horizon_s, 400);
+    ContactReport contacts;
+    world->add_observer(&delay_report);
+    world->add_observer(&contacts);
+    world->run();
+    created += delay_report.created();
+    for (double d : delay_report.delays()) {
+      if (d <= cfg.horizon_s) delays.push_back(d);
+    }
+    total_contacts += static_cast<double>(contacts.total_contacts());
+  }
+
+  SprayDelayOracleResult r;
+  r.samples = created;
+  r.delivered = delays.size();
+  r.lambda = census_lambda(total_contacts / static_cast<double>(cfg.seeds),
+                           cfg.n_nodes, cfg.duration_s());
+  DTN_REQUIRE(r.lambda > 0.0, "spray oracle: no contacts observed");
+
+  const int model_copies = cfg.model_copies_override > 0
+                               ? cfg.model_copies_override
+                               : cfg.copies;
+  const sdsrp::SprayWaitDelayModel model(
+      cfg.n_nodes, model_copies, r.lambda * cfg.model_lambda_scale);
+  r.model_states = model.state_count();
+  r.ks = censored_ks_distance(model, delays, created, cfg.horizon_s);
+
+  std::sort(delays.begin(), delays.end());
+  r.p50_sim = censored_quantile(delays, created, 0.5, cfg.horizon_s);
+  r.p90_sim = censored_quantile(delays, created, 0.9, cfg.horizon_s);
+  r.p50_model = model.cdf(cfg.horizon_s) >= 0.5 ? model.quantile(0.5)
+                                                : cfg.horizon_s;
+  r.p90_model = model.cdf(cfg.horizon_s) >= 0.9 ? model.quantile(0.9)
+                                                : cfg.horizon_s;
+
+  // Censored means E[min(T, horizon)]: empirical sum + censored mass at
+  // the horizon vs ∫₀ʰ (1 − F) dt on a fine grid.
+  double sum = 0.0;
+  for (double d : delays) sum += d;
+  sum += static_cast<double>(created - delays.size()) * cfg.horizon_s;
+  r.mean_sim = sum / static_cast<double>(created);
+  const std::size_t grid = 400;
+  std::vector<double> ts(grid + 1);
+  for (std::size_t i = 0; i <= grid; ++i) {
+    ts[i] = cfg.horizon_s * static_cast<double>(i) /
+            static_cast<double>(grid);
+  }
+  const std::vector<double> f = model.cdf(ts);
+  double integral = 0.0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    integral += 0.5 * ((1.0 - f[i]) + (1.0 - f[i + 1])) *
+                (ts[i + 1] - ts[i]);
+  }
+  r.mean_model = integral;
+  return r;
+}
+
+EpidemicOdeOracleResult run_epidemic_ode_oracle(
+    const EpidemicOdeOracleConfig& cfg) {
+  DTN_REQUIRE(cfg.seeds >= 1, "ode oracle: need at least one seed");
+  DTN_REQUIRE(!cfg.checkpoints.empty(), "ode oracle: no checkpoints");
+
+  Scenario sc = Scenario::random_waypoint_paper();
+  sc.router = "epidemic";
+  sc.policy = "fifo";
+  sc.buffer_capacity = 1'000'000'000;  // no buffer constraint
+  sc.traffic.interval_min = 1e9;       // no background traffic
+  sc.traffic.interval_max = 1.1e9;
+  sc.world.collect_intermeeting = true;
+
+  std::vector<RunningStats> measured(cfg.checkpoints.size());
+  RunningStats observed_ei;
+  double total_contacts = 0.0;
+
+  for (std::size_t s = 0; s < cfg.seeds; ++s) {
+    Scenario run = sc;
+    run.seed = sc.seed + s;
+    auto world = build_world(run);
+    ContactReport contacts;
+    world->add_observer(&contacts);
+
+    Message m;
+    m.id = 1;
+    m.source = 0;
+    m.destination = 1;
+    m.size = 1000;  // tiny: transfer time negligible, as the ODE assumes
+    m.created = 0.0;
+    m.ttl = 1e9;
+    m.copies = 1;
+    m.initial_copies = 1;
+    DTN_REQUIRE(world->inject_message(m),
+                "ode oracle: source rejected the probe message");
+
+    for (std::size_t k = 0; k < cfg.checkpoints.size(); ++k) {
+      world->run_until(cfg.checkpoints[k]);
+      measured[k].add(world->registry().n_holding(1));
+    }
+    world->run_until(sc.world.duration);  // full horizon for the λ census
+    for (double x : world->intermeeting_samples()) observed_ei.add(x);
+    total_contacts += static_cast<double>(contacts.total_contacts());
+  }
+
+  EpidemicOdeOracleResult out;
+  out.n_nodes = sc.n_nodes;
+  out.lambda = census_lambda(
+      total_contacts / static_cast<double>(cfg.seeds), sc.n_nodes,
+      sc.world.duration);
+  out.naive_ei = observed_ei.mean();
+  for (std::size_t k = 0; k < cfg.checkpoints.size(); ++k) {
+    EpidemicOdeOracleResult::Point p;
+    p.t = cfg.checkpoints[k];
+    p.sim_mean = measured[k].mean();
+    p.sim_ci95 = measured[k].ci95_half_width();
+    p.ode = sdsrp::epidemic_infected(static_cast<double>(sc.n_nodes),
+                                     out.lambda, 1.0, p.t);
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace dtn

@@ -1,0 +1,120 @@
+// Analytical correctness oracles (DESIGN.md §13): harnesses that run the
+// simulator in regimes where closed-form theory predicts the outcome and
+// report the discrepancy, so CI can gate on *correctness* rather than
+// mere determinism. Two oracles:
+//
+//  * Binary spray-and-wait delivery-delay CDF vs the Diana & Lochin
+//    stochastic model (src/sdsrp/spray_wait_delay_model) — KS distance
+//    between the simulated creation→delivery delay distribution and the
+//    analytical F(t), with λ taken from the observed contact census.
+//    Catches silent bias in the spray tree, the meeting process, or the
+//    delivery path.
+//
+//  * Epidemic infection curve vs the SI ODE of Zhang et al. (paper
+//    ref [13], src/sdsrp/epidemic_ode) — simulated I(t) checkpoints
+//    against the logistic closed form. Catches contact-process and
+//    transfer-pipeline bias.
+//
+// Both harnesses are deterministic given their config (seeds included),
+// and shared by the bench drivers (bench/abl_spray_delay_oracle,
+// bench/abl_ode_validation) and the gating tests (tests/test_delay_oracle).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/config/scenario.hpp"
+#include "src/sdsrp/spray_wait_delay_model.hpp"
+
+namespace dtn {
+
+/// One (N, L) configuration of the spray-and-wait delay oracle. The world
+/// is the Table II random-waypoint world (2 m/s, 100 m range, 250 kbps,
+/// 1 s steps) with unconstrained buffers, negligible 1 kB payloads and a
+/// geometry scaled so pairwise meetings are frequent enough to resolve a
+/// CDF within a short horizon. Traffic stops at `create_window_s`; every
+/// message created then has the full `horizon_s` of observation before
+/// the run ends, so "not delivered within horizon" is exact right
+/// censoring, never truncation.
+struct SprayDelayOracleConfig {
+  std::size_t n_nodes = 80;
+  int copies = 8;                ///< L, the binary spray budget
+  std::size_t seeds = 4;         ///< replicas pooled into one empirical CDF
+  std::uint64_t base_seed = 1;
+  double area_width = 2250.0;    ///< Table II geometry at quarter area
+  double area_height = 1700.0;
+  double create_window_s = 2000.0;
+  double horizon_s = 4000.0;     ///< delay comparison horizon
+  double traffic_interval_min = 18.0;
+  double traffic_interval_max = 22.0;
+
+  /// Sensitivity knobs — compare the *unchanged* simulation against a
+  /// deliberately perturbed model, to prove the oracle detects bias.
+  double model_lambda_scale = 1.0;  ///< model uses λ·scale
+  int model_copies_override = 0;    ///< 0 = model uses `copies`
+
+  double duration_s() const { return create_window_s + horizon_s; }
+};
+
+struct SprayDelayOracleResult {
+  double lambda = 0.0;        ///< population-MLE pairwise meeting rate (/s)
+  std::size_t samples = 0;    ///< messages created (eligible population)
+  std::size_t delivered = 0;  ///< delivered within the horizon
+  double ks = 0.0;            ///< sup_t≤horizon |F_emp(t) − F_model(t)|
+  double mean_sim = 0.0;      ///< E[min(T, horizon)], empirical
+  double mean_model = 0.0;    ///< E[min(T, horizon)], analytical
+  double p50_sim = 0.0, p50_model = 0.0;
+  double p90_sim = 0.0, p90_model = 0.0;
+  std::size_t model_states = 0;
+
+  double delivered_fraction() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(delivered) /
+                              static_cast<double>(samples);
+  }
+};
+
+/// The scenario one oracle replica runs (exposed for tests and the
+/// scenarios/spray_delay_oracle.txt round-trip).
+Scenario spray_delay_oracle_scenario(const SprayDelayOracleConfig& cfg,
+                                     std::uint64_t seed);
+
+/// Runs `cfg.seeds` replicas, pools the exact delay samples, measures λ
+/// from the contact census and compares against the analytical CDF.
+SprayDelayOracleResult run_spray_delay_oracle(
+    const SprayDelayOracleConfig& cfg);
+
+/// KS distance between the empirical delay distribution — `delays`
+/// delivered samples out of `total` eligible messages, the remainder
+/// right-censored at `horizon` — and the model CDF, evaluated over
+/// [0, horizon]. `delays` need not be sorted.
+double censored_ks_distance(const sdsrp::SprayWaitDelayModel& model,
+                            std::vector<double> delays, std::size_t total,
+                            double horizon);
+
+/// Epidemic-ODE oracle (the former print-only abl_ode_validation core).
+struct EpidemicOdeOracleConfig {
+  std::size_t seeds = 5;
+  std::vector<double> checkpoints = {250,  500,  750,  1000, 1500,
+                                     2000, 3000, 4000, 6000, 9000};
+};
+
+struct EpidemicOdeOracleResult {
+  struct Point {
+    double t = 0.0;
+    double sim_mean = 0.0;  ///< mean simulated I(t) across seeds
+    double sim_ci95 = 0.0;
+    double ode = 0.0;       ///< logistic I(t) at the census λ
+    double ratio() const { return ode > 0.0 ? sim_mean / ode : 0.0; }
+  };
+  double lambda = 0.0;     ///< population-MLE pairwise meeting rate
+  double naive_ei = 0.0;   ///< naive mean of completed gaps (length-biased)
+  std::size_t n_nodes = 0;
+  std::vector<Point> points;
+};
+
+EpidemicOdeOracleResult run_epidemic_ode_oracle(
+    const EpidemicOdeOracleConfig& cfg);
+
+}  // namespace dtn

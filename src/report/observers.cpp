@@ -79,6 +79,33 @@ void DeliveredMessagesReport::load_state(snapshot::ArchiveReader& in) {
   in.end_section();
 }
 
+// --- DelayCdfReport ---
+
+DelayCdfReport::DelayCdfReport(double hist_lo, double hist_hi,
+                               std::size_t hist_bins)
+    : hist_(hist_lo, hist_hi, hist_bins) {}
+
+void DelayCdfReport::on_message_created(const Message& m, SimTime now) {
+  (void)m;
+  (void)now;
+  ++created_;
+}
+
+void DelayCdfReport::on_delivery(const Message& copy, NodeId from, NodeId to,
+                                 SimTime now) {
+  (void)from;
+  (void)to;
+  const double delay = now - copy.created;
+  delays_.push_back(delay);
+  hist_.add(delay);
+}
+
+void DelayCdfReport::merge(const DelayCdfReport& other) {
+  created_ += other.created_;
+  delays_.insert(delays_.end(), other.delays_.begin(), other.delays_.end());
+  hist_.merge(other.hist_);
+}
+
 // --- ContactReport ---
 
 void ContactReport::on_link_up(const NodePair& p, SimTime now) {

@@ -55,6 +55,40 @@ class DeliveredMessagesReport final : public WorldObserver {
   std::vector<Row> rows_;
 };
 
+/// Delivery-delay CDF accumulator for the analytical delay oracle
+/// (DESIGN.md §13): counts every created message and records the exact
+/// creation→delivery delay of each first delivery, both as a raw sample
+/// vector (KS tests) and binned into a mergeable fixed-layout Histogram
+/// (cross-run aggregation — same exact-integer merge property as the
+/// sweep aggregates). Messages that were created but never delivered are
+/// the right-censored mass: created() − delivered_count().
+class DelayCdfReport final : public WorldObserver {
+ public:
+  /// Histogram layout; defaults to the sweep's fixed latency binning so
+  /// partials from any source merge.
+  explicit DelayCdfReport(double hist_lo = 0.0, double hist_hi = 43200.0,
+                          std::size_t hist_bins = 4320);
+
+  void on_message_created(const Message& m, SimTime now) override;
+  void on_delivery(const Message& copy, NodeId from, NodeId to,
+                   SimTime now) override;
+
+  std::size_t created() const { return created_; }
+  std::size_t delivered_count() const { return delays_.size(); }
+  /// Exact delays in delivery order (not sorted).
+  const std::vector<double>& delays() const { return delays_; }
+  const Histogram& histogram() const { return hist_; }
+
+  /// Exact cross-run combine: sums creation counts, concatenates delay
+  /// samples and integer-merges the histograms (binning must match).
+  void merge(const DelayCdfReport& other);
+
+ private:
+  std::size_t created_ = 0;
+  std::vector<double> delays_;
+  Histogram hist_;
+};
+
 /// Contact durations and intermeeting gaps per node pair
 /// (ONE: ConnectivityONEReport / ContactTimesReport).
 class ContactReport final : public WorldObserver {

@@ -114,6 +114,15 @@ struct ReplicatedMetrics {
     latency_hist.merge(other.latency_hist);
   }
 
+  /// Fraction of per-run latencies that fell at/above the fixed histogram
+  /// ceiling (kLatencyHistHi). When this is non-zero, latency_hist
+  /// quantiles that land in the overflow mass saturate at the ceiling —
+  /// use latency_hist.quantile_checked() and surface the saturation
+  /// instead of printing the ceiling as if it were an estimate.
+  double latency_overflow_fraction() const {
+    return latency_hist.overflow_fraction();
+  }
+
   MetricPoint mean() const {
     return {delivery_ratio.mean(),  avg_hopcount.mean(),
             overhead_ratio.mean(),  avg_latency.mean(),

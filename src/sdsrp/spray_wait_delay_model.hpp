@@ -1,0 +1,84 @@
+// Analytical delivery-delay distribution of *binary* Spray-and-Wait under
+// the stochastic model of Diana & Lochin (arXiv 1111.6860): N nodes whose
+// pairwise meeting times are i.i.d. exponential with rate λ, instantaneous
+// transfers, unconstrained buffers, a single message with copy budget L
+// and a uniformly random destination.
+//
+// The spreading process is a continuous-time Markov chain whose state is
+// the multiset of per-carrier copy counts (a partition of L reachable by
+// ⌊c/2⌋/⌈c/2⌉ splits), plus one absorbing "delivered" state:
+//
+//   * a carrier holding c ≥ 2 copies meets one of the N−1−n non-carriers
+//     (the destination excluded) at rate (N−1−n)·λ and splits c into
+//     ⌊c/2⌋ + ⌈c/2⌉ — one new carrier;
+//   * any of the n carriers meets the destination at rate λ, absorbing
+//     the chain — delivery always preempts replication, exactly as the
+//     simulator's "deliveries trump replication" rule.
+//
+// The delivery-delay CDF F(t) is the absorption probability by time t,
+// obtained by integrating the Kolmogorov forward equations (RK4 on the
+// tiny state space — partitions of L into halving parts, e.g. 36 states
+// for L = 16). The expected delay comes from the exact first-passage
+// recursion over the same (acyclic) chain.
+//
+// This is the repo's correctness oracle for the spray tree: a silently
+// biased copy-budget split, meeting process or delivery path shifts the
+// simulated CDF away from F and is caught by a KS-distance gate
+// (src/report/delay_oracle, bench/abl_spray_delay_oracle), which no
+// digest-determinism test can do.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dtn::sdsrp {
+
+class SprayWaitDelayModel {
+ public:
+  /// Requires n_nodes ≥ 2, copies ≥ 1, lambda > 0. The copy budget may
+  /// exceed N−1; spraying simply stops when every non-destination node
+  /// carries a copy, as in the simulator.
+  SprayWaitDelayModel(std::size_t n_nodes, int copies, double lambda);
+
+  std::size_t n_nodes() const { return n_; }
+  int copies() const { return l_; }
+  double lambda() const { return lambda_; }
+
+  /// Number of transient CTMC states (partitions of L reachable by
+  /// binary splits, capped at N−1 carriers).
+  std::size_t state_count() const { return states_.size(); }
+
+  /// F(t) = P(delivery delay ≤ t) for every abscissa in `ts`, which must
+  /// be non-negative and ascending. One forward integration pass.
+  std::vector<double> cdf(const std::vector<double>& ts) const;
+
+  /// Convenience single-point evaluation.
+  double cdf(double t) const;
+
+  /// Exact expected delivery delay E[T] (first-passage recursion; no
+  /// numerical integration).
+  double mean_delay() const;
+
+  /// Smallest t with F(t) ≥ q (bisection over the integrated CDF).
+  /// Requires 0 < q < 1.
+  double quantile(double q) const;
+
+ private:
+  /// One transient state: partition parts in descending order.
+  struct State {
+    std::vector<int> parts;       ///< per-carrier copy counts, ≥ 1
+    double exit_rate = 0.0;       ///< total outflow (splits + n·λ absorption)
+    /// (target state, rate) for each distinct splittable part value.
+    std::vector<std::pair<std::size_t, double>> splits;
+  };
+
+  void build_states();
+
+  std::size_t n_;
+  int l_;
+  double lambda_;
+  std::vector<State> states_;  ///< index 0 = initial state {L}; the order
+                               ///< is topological (splits only go forward)
+};
+
+}  // namespace dtn::sdsrp

@@ -81,20 +81,36 @@ void Histogram::merge(const Histogram& other) {
 }
 
 double Histogram::quantile(double q) const {
+  return quantile_checked(q).value;
+}
+
+Histogram::QuantileEstimate Histogram::quantile_checked(double q) const {
   DTN_REQUIRE(q >= 0.0 && q <= 1.0, "Histogram::quantile: q out of [0,1]");
-  if (total_ == 0) return lo_;
+  if (total_ == 0) return {lo_, false};
   const double rank = q * static_cast<double>(total_);
   double cum = static_cast<double>(underflow_);
-  if (rank <= cum) return lo_;
+  if (rank <= cum) return {lo_, false};
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double c = static_cast<double>(counts_[i]);
     if (c > 0.0 && rank <= cum + c) {
       const double frac = (rank - cum) / c;
-      return lo_ + (static_cast<double>(i) + frac) * width_;
+      return {lo_ + (static_cast<double>(i) + frac) * width_, false};
     }
     cum += c;
   }
-  return hi_;
+  // The rank lands in the overflow mass: hi is a lower bound on the true
+  // quantile, not an estimate.
+  return {hi_, overflow_ > 0};
+}
+
+double Histogram::overflow_fraction() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(overflow_) / static_cast<double>(total_);
+}
+
+double Histogram::underflow_fraction() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(underflow_) / static_cast<double>(total_);
 }
 
 ExponentialFit fit_exponential(const std::vector<double>& samples,
@@ -126,12 +142,17 @@ ExponentialFit fit_exponential(const std::vector<double>& samples,
                      static_cast<double>(ccdf_points);
     const auto it = std::lower_bound(sorted.begin(), sorted.end(), t);
     const auto above = static_cast<std::size_t>(sorted.end() - it);
-    if (above == 0) break;
+    // Empty-tail grid point: CCDF is 0 there and log(0) is undefined, so
+    // the point carries no regression information — skip it. (The CCDF is
+    // non-increasing, so these can only trail; skipping rather than
+    // breaking also stays correct if that ever changes.)
+    if (above == 0) continue;
     const double ccdf =
         static_cast<double>(above) / static_cast<double>(sorted.size());
     xs.push_back(t);
     ys.push_back(std::log(ccdf));
   }
+  fit.tail_points = xs.size();
   if (xs.size() < 3) {
     fit.r_squared = 1.0;  // too few points to falsify linearity
     return fit;
@@ -148,7 +169,13 @@ ExponentialFit fit_exponential(const std::vector<double>& samples,
   const double cov = sxy - sx * sy / n;
   const double vx = sxx - sx * sx / n;
   const double vy = syy - sy * sy / n;
-  fit.r_squared = (vx > 0 && vy > 0) ? (cov * cov) / (vx * vy) : 1.0;
+  // Degenerate tails: vy == 0 means every sampled CCDF value was equal
+  // (typically 1.0 — a point mass or near-point-mass whose decay hides
+  // beyond the grid). The old code reported R² = 1 ("perfectly
+  // exponential") for such data; report 0 instead — there is no observed
+  // tail decay to support an exponential claim. vx == 0 can only happen
+  // when the abscissae collapse (denormal maxv); same verdict.
+  fit.r_squared = (vx > 0 && vy > 0) ? (cov * cov) / (vx * vy) : 0.0;
   return fit;
 }
 

@@ -51,7 +51,27 @@ class Histogram {
   /// Quantile estimate from the binned counts (q in [0,1]): linear
   /// interpolation inside the covering bin; underflow mass sits at lo,
   /// overflow mass at hi. Returns lo for an empty histogram.
+  ///
+  /// NOTE: when the overflow mass covers the requested rank the true
+  /// quantile is somewhere *above* hi and the returned hi is only a lower
+  /// bound — use quantile_checked() wherever that silent saturation
+  /// matters (sweep latency aggregates: a fixed [0, 12 h) layout quietly
+  /// reported "12 h" p95s for heavier-tailed runs).
   double quantile(double q) const;
+
+  /// Quantile with an explicit saturation verdict: `saturated` is true
+  /// iff the rank falls into the overflow mass, i.e. `value` (== hi) is
+  /// a lower bound rather than an estimate.
+  struct QuantileEstimate {
+    double value = 0.0;
+    bool saturated = false;
+  };
+  QuantileEstimate quantile_checked(double q) const;
+
+  /// Fraction of total mass that landed at/above hi (0 for empty).
+  double overflow_fraction() const;
+  /// Fraction of total mass that landed below lo (0 for empty).
+  double underflow_fraction() const;
 
   friend bool operator==(const Histogram&, const Histogram&) = default;
 
@@ -66,8 +86,13 @@ struct ExponentialFit {
   double lambda = 0.0;    ///< MLE rate = 1 / sample mean.
   double mean = 0.0;      ///< Sample mean E(I).
   double r_squared = 0.0; ///< R^2 of the least-squares line through
-                          ///< log CCDF(t) vs t (1.0 = perfectly exponential).
+                          ///< log CCDF(t) vs t (1.0 = perfectly exponential;
+                          ///< 0.0 when the sampled CCDF never decays, i.e.
+                          ///< the grid saw no tail evidence at all).
   std::size_t samples = 0;
+  /// CCDF grid points that actually entered the regression (non-empty
+  /// tail). Fewer than 3 means r_squared could not be falsified.
+  std::size_t tail_points = 0;
 };
 
 /// Fits an exponential to positive samples: MLE rate plus a goodness-of-fit

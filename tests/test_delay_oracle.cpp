@@ -1,0 +1,305 @@
+// Tests for the analytical correctness oracles (DESIGN.md §13): the
+// Diana-Lochin binary spray-and-wait delay model, the KS gate between
+// the simulator and that model, the oracle's *sensitivity* (a perturbed
+// model must fail the gate — otherwise the oracle gates nothing), and
+// the toleranced epidemic-ODE check promoted from bench/abl_ode_validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/report/delay_oracle.hpp"
+#include "src/report/observers.hpp"
+#include "src/sdsrp/spray_wait_delay_model.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn {
+namespace {
+
+// --- SprayWaitDelayModel unit tests -----------------------------------
+
+TEST(SprayWaitDelayModel, SingleCopyIsExponential) {
+  // L = 1: one carrier that never splits; delivery is the first meeting
+  // with the destination, so F(t) = 1 - exp(-lambda t) exactly.
+  const double lambda = 1e-3;
+  const sdsrp::SprayWaitDelayModel m(40, 1, lambda);
+  EXPECT_EQ(m.state_count(), 1u);
+  for (double t : {0.0, 100.0, 500.0, 2000.0, 10000.0}) {
+    EXPECT_NEAR(m.cdf(t), 1.0 - std::exp(-lambda * t), 1e-6) << "t=" << t;
+  }
+  EXPECT_NEAR(m.mean_delay(), 1.0 / lambda, 1e-9);
+}
+
+TEST(SprayWaitDelayModel, StateSpaceIsHalvingPartitions) {
+  // L = 4: {4}, {2,2}, {2,1,1}, {1,1,1,1}.
+  EXPECT_EQ(sdsrp::SprayWaitDelayModel(80, 4, 1e-4).state_count(), 4u);
+  // L = 16 reaches 36 partitions via floor/ceil splits.
+  EXPECT_EQ(sdsrp::SprayWaitDelayModel(80, 16, 1e-4).state_count(), 36u);
+  // Odd budgets split asymmetrically: {5}, {3,2}, then either part
+  // splits — {2,2,1} and {3,1,1} — before {2,1,1,1} and {1,1,1,1,1}.
+  EXPECT_EQ(sdsrp::SprayWaitDelayModel(80, 5, 1e-4).state_count(), 6u);
+}
+
+TEST(SprayWaitDelayModel, CdfIsMonotoneAndBounded) {
+  const sdsrp::SprayWaitDelayModel m(50, 8, 2e-4);
+  std::vector<double> ts;
+  for (double t = 0.0; t <= 20000.0; t += 250.0) ts.push_back(t);
+  const std::vector<double> f = m.cdf(ts);
+  double prev = -1.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_GE(f[i], prev - 1e-12);
+    EXPECT_GE(f[i], 0.0);
+    EXPECT_LE(f[i], 1.0);
+    prev = f[i];
+  }
+  EXPECT_DOUBLE_EQ(f.front(), 0.0);
+  EXPECT_GT(f.back(), 0.999);  // essentially certain delivery by 20 E[T]
+}
+
+TEST(SprayWaitDelayModel, MoreCopiesAreFasterEverywhere) {
+  // First-order stochastic dominance: a larger budget can only speed
+  // delivery in the model (more carriers racing for the destination).
+  const sdsrp::SprayWaitDelayModel m4(80, 4, 1e-4);
+  const sdsrp::SprayWaitDelayModel m16(80, 16, 1e-4);
+  for (double t : {250.0, 1000.0, 4000.0, 12000.0}) {
+    EXPECT_GT(m16.cdf(t), m4.cdf(t)) << "t=" << t;
+  }
+  EXPECT_LT(m16.mean_delay(), m4.mean_delay());
+}
+
+TEST(SprayWaitDelayModel, QuantileInvertsCdf) {
+  const sdsrp::SprayWaitDelayModel m(80, 8, 1e-4);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(m.cdf(m.quantile(q)), q, 1e-6) << "q=" << q;
+  }
+}
+
+TEST(SprayWaitDelayModel, MeanMatchesIntegratedTail) {
+  // E[T] from the first-passage recursion vs numerically integrating
+  // the survival function — two independent computations.
+  const sdsrp::SprayWaitDelayModel m(50, 8, 2e-4);
+  const double mean = m.mean_delay();
+  std::vector<double> ts;
+  const double hi = 12.0 * mean;
+  const std::size_t grid = 4000;
+  for (std::size_t i = 0; i <= grid; ++i) {
+    ts.push_back(hi * static_cast<double>(i) / static_cast<double>(grid));
+  }
+  const std::vector<double> f = m.cdf(ts);
+  double integral = 0.0;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    integral += 0.5 * ((1.0 - f[i]) + (1.0 - f[i + 1])) * (ts[i + 1] - ts[i]);
+  }
+  EXPECT_NEAR(integral, mean, 0.01 * mean);
+}
+
+TEST(SprayWaitDelayModel, Preconditions) {
+  EXPECT_THROW(sdsrp::SprayWaitDelayModel(1, 4, 1e-4), PreconditionError);
+  EXPECT_THROW(sdsrp::SprayWaitDelayModel(40, 0, 1e-4), PreconditionError);
+  EXPECT_THROW(sdsrp::SprayWaitDelayModel(40, 4, 0.0), PreconditionError);
+  const sdsrp::SprayWaitDelayModel m(40, 4, 1e-4);
+  EXPECT_THROW(m.quantile(0.0), PreconditionError);
+  EXPECT_THROW(m.quantile(1.0), PreconditionError);
+}
+
+// Independent Monte-Carlo cross-check: simulate N nodes whose pairwise
+// meetings are a Poisson process (uniform random pair at total rate
+// C(N,2)·lambda) and apply the binary spray rules mechanically — carrier
+// meets destination => delivery; carrier with c >= 2 meets a non-carrier
+// => floor/ceil split; every other meeting is a no-op. This exercises the
+// full meeting mechanics the CTMC lumps into per-state rates, so
+// agreement validates the model's rate derivation, not just its solver.
+TEST(SprayWaitDelayModel, MonteCarloMeetingProcessAgrees) {
+  const std::size_t n = 20;
+  const int l = 4;
+  const double lambda = 1e-3;
+  const std::size_t trials = 4000;
+  Rng rng(12345);
+
+  const double pair_rate =
+      static_cast<double>(n) * static_cast<double>(n - 1) / 2.0 * lambda;
+  std::vector<double> delays;
+  delays.reserve(trials);
+  std::vector<int> copies(n);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::fill(copies.begin(), copies.end(), 0);
+    copies[0] = l;  // source; node 1 is the destination
+    double t = 0.0;
+    for (;;) {
+      t += rng.exponential(pair_rate);
+      auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 2));
+      if (b >= a) ++b;  // uniform unordered pair (a, b), a != b
+      if (a == 1 || b == 1) {  // destination involved
+        const std::size_t other = a == 1 ? b : a;
+        if (copies[other] > 0) break;  // delivered at t
+        continue;
+      }
+      if (copies[a] > 0 && copies[b] == 0 && copies[a] >= 2) {
+        copies[b] = copies[a] / 2;
+        copies[a] -= copies[b];
+      } else if (copies[b] > 0 && copies[a] == 0 && copies[b] >= 2) {
+        copies[a] = copies[b] / 2;
+        copies[b] -= copies[a];
+      }
+    }
+    delays.push_back(t);
+  }
+
+  const sdsrp::SprayWaitDelayModel model(n, l, lambda);
+  std::sort(delays.begin(), delays.end());
+  const std::vector<double> f = model.cdf(delays);
+  double ks = 0.0;
+  const auto m = static_cast<double>(delays.size());
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    ks = std::max(ks, std::abs(f[i] - static_cast<double>(i) / m));
+    ks = std::max(ks, std::abs(f[i] - static_cast<double>(i + 1) / m));
+  }
+  // 4000 i.i.d. samples from the exact law: KS ~ 1.36/sqrt(4000) = 0.022
+  // at the 5% point; 0.04 is comfortably above noise yet far below any
+  // structural disagreement.
+  EXPECT_LT(ks, 0.04);
+}
+
+// --- Simulator-vs-model gate (the oracle proper) ----------------------
+
+// KS tolerance for the simulator gate. Calibrated at 3 seeds: the three
+// configurations below measure KS 0.048 / 0.085 / 0.049, while a model
+// perturbed by lambda/2 or half the copy budget measures 0.28-0.31 —
+// the 0.15 gate has better than 1.7x margin on both sides.
+constexpr double kKsTolerance = 0.15;
+constexpr std::size_t kGateSeeds = 3;
+
+std::vector<SprayDelayOracleConfig> gate_configs() {
+  // Same three (N, L) worlds as bench/abl_spray_delay_oracle: fast-
+  // spreading configs get proportionally larger areas so the delay scale
+  // stays well above the contact-process correlation time (RWP meetings
+  // are only asymptotically exponential; DESIGN.md §13).
+  std::vector<SprayDelayOracleConfig> cfgs(3);
+  cfgs[0].n_nodes = 80;
+  cfgs[0].copies = 4;
+  cfgs[1].n_nodes = 80;
+  cfgs[1].copies = 16;
+  cfgs[1].area_width = 4500.0;
+  cfgs[1].area_height = 3400.0;
+  cfgs[1].create_window_s = 3000.0;
+  cfgs[1].horizon_s = 9000.0;
+  cfgs[2].n_nodes = 50;
+  cfgs[2].copies = 8;
+  cfgs[2].area_width = 2700.0;
+  cfgs[2].area_height = 2040.0;
+  cfgs[2].create_window_s = 2500.0;
+  cfgs[2].horizon_s = 6000.0;
+  for (auto& c : cfgs) c.seeds = kGateSeeds;
+  return cfgs;
+}
+
+TEST(SprayDelayOracle, SimulatorMatchesModelAcrossConfigs) {
+  for (const auto& cfg : gate_configs()) {
+    const SprayDelayOracleResult r = run_spray_delay_oracle(cfg);
+    EXPECT_LT(r.ks, kKsTolerance)
+        << "N=" << cfg.n_nodes << " L=" << cfg.copies;
+    // The gate is only meaningful if the empirical CDF is well resolved.
+    EXPECT_GT(r.samples, 200u);
+    EXPECT_GT(r.delivered_fraction(), 0.85);
+    // Censored means agree to the same order as the KS gate.
+    EXPECT_NEAR(r.mean_sim, r.mean_model, 0.15 * r.mean_model);
+  }
+}
+
+TEST(SprayDelayOracle, DetectsLambdaBias) {
+  // The *same* simulation against a model driven by half the measured
+  // meeting rate must fail the gate — otherwise the oracle could not
+  // catch a contact-process bug of that size.
+  SprayDelayOracleConfig cfg = gate_configs()[0];
+  cfg.model_lambda_scale = 0.5;
+  const SprayDelayOracleResult r = run_spray_delay_oracle(cfg);
+  EXPECT_GT(r.ks, 1.5 * kKsTolerance);
+}
+
+TEST(SprayDelayOracle, DetectsCopyBudgetBias) {
+  // Same simulation vs a model spraying half the budget: a silent L/2
+  // bug in the spray tree would produce exactly this mismatch.
+  SprayDelayOracleConfig cfg = gate_configs()[0];
+  cfg.model_copies_override = cfg.copies / 2;
+  const SprayDelayOracleResult r = run_spray_delay_oracle(cfg);
+  EXPECT_GT(r.ks, 1.5 * kKsTolerance);
+}
+
+TEST(SprayDelayOracle, CensoredKsHandlesUndelivered) {
+  // All-censored sample: F_emp == 0 on [0, horizon], so KS is F(horizon).
+  const sdsrp::SprayWaitDelayModel m(40, 1, 1e-3);
+  const double ks = censored_ks_distance(m, {}, 50, 2000.0);
+  EXPECT_NEAR(ks, m.cdf(2000.0), 1e-12);
+  EXPECT_THROW(censored_ks_distance(m, {1.0, 2.0}, 1, 10.0),
+               PreconditionError);
+}
+
+TEST(SprayDelayOracle, ScenarioEncodesCensoringWindow) {
+  const SprayDelayOracleConfig cfg;
+  const Scenario sc = spray_delay_oracle_scenario(cfg, 7);
+  EXPECT_EQ(sc.router, "spray-and-wait");
+  EXPECT_EQ(sc.traffic.initial_copies, cfg.copies);
+  EXPECT_DOUBLE_EQ(sc.traffic.stop, cfg.create_window_s);
+  EXPECT_DOUBLE_EQ(sc.world.duration, cfg.duration_s());
+  EXPECT_EQ(sc.seed, 7u);
+  // The censoring window must survive the settings round-trip so
+  // scenarios/spray_delay_oracle.txt can express this world.
+  const Scenario back = Scenario::from_settings(sc.to_settings());
+  EXPECT_DOUBLE_EQ(back.traffic.stop, cfg.create_window_s);
+}
+
+TEST(SprayDelayOracle, DelayCdfReportMergesExactly) {
+  // Shard-merge semantics: two observers merged equal one observer that
+  // saw everything — the property the multi-seed pooling relies on.
+  DelayCdfReport a(0.0, 100.0, 10), b(0.0, 100.0, 10), whole(0.0, 100.0, 10);
+  Message m;
+  m.created = 0.0;
+  a.on_message_created(m, 0.0);
+  b.on_message_created(m, 0.0);
+  whole.on_message_created(m, 0.0);
+  whole.on_message_created(m, 0.0);
+  a.on_delivery(m, 0, 1, 12.5);
+  b.on_delivery(m, 0, 1, 250.0);  // overflows the histogram, kept in delays
+  whole.on_delivery(m, 0, 1, 12.5);
+  whole.on_delivery(m, 0, 1, 250.0);
+  a.merge(b);
+  EXPECT_EQ(a.created(), whole.created());
+  EXPECT_EQ(a.delays(), whole.delays());
+  EXPECT_TRUE(a.histogram() == whole.histogram());
+  EXPECT_EQ(a.histogram().overflow(), 1u);
+}
+
+// --- Epidemic-ODE oracle (promoted from print-only bench) -------------
+
+TEST(EpidemicOdeOracle, InfectionCurveTracksLogistic) {
+  EpidemicOdeOracleConfig cfg;
+  cfg.seeds = 3;
+  const EpidemicOdeOracleResult r = run_epidemic_ode_oracle(cfg);
+
+  // The census meeting rate for the Table II world sits near 4.5e-5 /s;
+  // a factor-2 drift either way means the contact pipeline changed.
+  EXPECT_GT(r.lambda, 2e-5);
+  EXPECT_LT(r.lambda, 9e-5);
+  // The naive completed-gap mean is length-biased low vs 1/lambda.
+  EXPECT_LT(r.naive_ei, 1.0 / r.lambda);
+
+  for (const auto& p : r.points) {
+    // Early phase (t < 1500 s) is dominated by the single seeded copy's
+    // first meetings, where RWP's non-exponential short-time behavior and
+    // finite transfers bite hardest; the bench prints those points but
+    // the gate starts where the mass-action approximation holds.
+    if (p.t < 1500.0) continue;
+    EXPECT_GT(p.ratio(), 0.55) << "t=" << p.t;
+    EXPECT_LT(p.ratio(), 1.15) << "t=" << p.t;
+    if (p.t >= 3000.0) {
+      EXPECT_GT(p.ratio(), 0.90) << "t=" << p.t;
+      EXPECT_LT(p.ratio(), 1.05) << "t=" << p.t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtn

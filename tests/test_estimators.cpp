@@ -79,6 +79,46 @@ TEST(IntermeetingEstimator, MleReducesCensoringBias) {
   EXPECT_NEAR(mle_mean, 1000.0, 120.0);   // near the true mean
 }
 
+TEST(IntermeetingEstimator, RegressionNaiveVsMleOnExponentialContacts) {
+  // Regression pin for the documented estimator bias (DESIGN.md §4), on
+  // a synthetic exponential contact process with *finite* contact
+  // durations and an observation window shorter than the true E(I):
+  // the naive mean of completed gaps can only see gaps that happened to
+  // finish inside the window, so it is length-biased well below the
+  // truth; the censored MLE counts open gap exposure and recovers E(I).
+  // Pinned bounds, so an estimator change reintroducing the bias (or
+  // breaking exposure bookkeeping around contact durations) fails here.
+  const double true_ei = 2000.0;
+  const double contact_s = 20.0;
+  const double window = 1500.0;
+  Rng rng(2024);
+  IntermeetingEstimator naive(1.0, 1, ImtEstimatorMode::kNaiveMean);
+  IntermeetingEstimator mle(1.0, 1, ImtEstimatorMode::kCensoredMle);
+  for (std::size_t peer = 0; peer < 5000; ++peer) {
+    double t = rng.uniform(0.0, 100.0);  // first contact ends here
+    naive.on_contact_end(peer, t);
+    mle.on_contact_end(peer, t);
+    for (;;) {
+      t += rng.exponential(1.0 / true_ei);  // gap
+      // Stop once the next contact would straddle the window, so every
+      // recorded event lies inside [0, window] and the open exposure at
+      // `window` is exact.
+      if (t + contact_s >= window) break;
+      naive.on_contact_start(peer, t);
+      mle.on_contact_start(peer, t);
+      t += contact_s;  // in contact: no gap exposure accumulates
+      naive.on_contact_end(peer, t);
+      mle.on_contact_end(peer, t);
+    }
+  }
+  const double naive_mean = naive.mean_intermeeting(window);
+  const double mle_mean = mle.mean_intermeeting(window);
+  EXPECT_LT(naive_mean, 0.45 * true_ei);         // biased low, badly
+  EXPECT_NEAR(mle_mean, true_ei, 0.08 * true_ei);  // truth within 8%
+  // The ordering itself is the regression guarantee.
+  EXPECT_LT(naive_mean, mle_mean);
+}
+
 TEST(IntermeetingEstimator, FirstContactWithPeerIsNotASample) {
   IntermeetingEstimator e(1000.0, 1);
   e.on_contact_start(3, 500.0);  // no previous end recorded

@@ -67,6 +67,51 @@ TEST(Histogram, CcdfMonotoneNonIncreasing) {
   EXPECT_NEAR(ccdf[0], 1.0, 1e-12);  // everything >= 0
 }
 
+TEST(Histogram, QuantileCheckedFlagsOverflowSaturation) {
+  // 60% of the mass in range, 40% above the ceiling: the median is a
+  // real estimate, but any quantile past 0.6 lands in the overflow mass
+  // and the returned hi is only a lower bound. The legacy quantile()
+  // reports the same ceiling value with no warning — the bug that made
+  // fixed-layout latency p95s silently read "12 h" (sweep aggregates).
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 60; ++i) h.add(1.0);
+  for (int i = 0; i < 40; ++i) h.add(50.0);
+  const auto p50 = h.quantile_checked(0.5);
+  EXPECT_FALSE(p50.saturated);
+  EXPECT_LT(p50.value, 2.0);
+  const auto p95 = h.quantile_checked(0.95);
+  EXPECT_TRUE(p95.saturated);
+  EXPECT_DOUBLE_EQ(p95.value, 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 10.0);  // silent legacy behavior
+  EXPECT_DOUBLE_EQ(h.overflow_fraction(), 0.4);
+  EXPECT_DOUBLE_EQ(h.underflow_fraction(), 0.0);
+}
+
+TEST(Histogram, QuantileCheckedBoundaryAndEmpty) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 50; ++i) h.add(1.0);
+  for (int i = 0; i < 50; ++i) h.add(99.0);
+  // Rank exactly at the last in-range sample still resolves in a bin.
+  EXPECT_FALSE(h.quantile_checked(0.5).saturated);
+  EXPECT_TRUE(h.quantile_checked(0.51).saturated);
+  Histogram empty(0.0, 1.0, 2);
+  EXPECT_FALSE(empty.quantile_checked(0.9).saturated);
+  EXPECT_DOUBLE_EQ(empty.overflow_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.underflow_fraction(), 0.0);
+}
+
+TEST(Histogram, MergePreservesOverflowAccounting) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(20.0);
+  b.add(30.0);
+  b.add(-5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.overflow_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(a.underflow_fraction(), 0.25);
+  EXPECT_TRUE(a.quantile_checked(0.99).saturated);
+}
+
 TEST(FitExponential, RecoversRate) {
   Rng rng(7);
   std::vector<double> samples;
@@ -98,6 +143,58 @@ TEST(FitExponential, EmptyAndDegenerate) {
 
 TEST(FitExponential, NegativeSampleThrows) {
   EXPECT_THROW(fit_exponential({1.0, -2.0}), PreconditionError);
+}
+
+TEST(FitExponential, PointMassHasNoTailEvidence) {
+  // Identical samples: every CCDF grid point below the value reads 1.0,
+  // so the log-CCDF is flat and carries zero evidence of exponential
+  // decay. The old code reported R² = 1 ("perfectly exponential") for
+  // exactly this input; it must read 0 now.
+  const auto fit = fit_exponential(std::vector<double>(100, 42.0));
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+  EXPECT_NEAR(fit.lambda, 1.0 / 42.0, 1e-12);
+  EXPECT_EQ(fit.tail_points, 50u);  // grid populated, just degenerate
+}
+
+TEST(FitExponential, SingleSampleIsFiniteAndDegenerate) {
+  const auto fit = fit_exponential({7.0});
+  EXPECT_TRUE(std::isfinite(fit.lambda));
+  EXPECT_DOUBLE_EQ(fit.mean, 7.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);  // flat CCDF: no decay observed
+}
+
+TEST(FitExponential, SparseSamplesStayFiniteAndBounded) {
+  // Property: any tiny positive sample set yields finite lambda/mean and
+  // r_squared in [0, 1] with tail_points never exceeding the grid — the
+  // sparse-tail regime where log(0) or a degenerate regression used to
+  // be reachable.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> samples;
+    const int n = 1 + trial % 5;
+    for (int i = 0; i < n; ++i) {
+      // Mix of scales, including ties and near-zero values.
+      samples.push_back(trial % 3 == 0 ? 1.0 : rng.exponential(0.1));
+    }
+    const auto fit = fit_exponential(samples, 17);
+    EXPECT_TRUE(std::isfinite(fit.lambda));
+    EXPECT_TRUE(std::isfinite(fit.mean));
+    EXPECT_TRUE(std::isfinite(fit.r_squared));
+    EXPECT_GE(fit.r_squared, 0.0);
+    EXPECT_LE(fit.r_squared, 1.0);
+    EXPECT_LE(fit.tail_points, 17u);
+    EXPECT_EQ(fit.samples, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(FitExponential, WideSpreadPairRegressesCleanly) {
+  // Two samples far apart: most grid points between them carry CCDF 0.5,
+  // the ones below the small sample carry 1.0 — a real (if crude)
+  // two-level regression, not a degenerate one.
+  const auto fit = fit_exponential({1.0, 100.0});
+  EXPECT_GT(fit.tail_points, 2u);
+  EXPECT_GE(fit.r_squared, 0.0);
+  EXPECT_LE(fit.r_squared, 1.0);
 }
 
 }  // namespace

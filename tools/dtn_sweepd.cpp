@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -113,16 +114,30 @@ int cmd_gen_table2(const Args& args) {
   return 0;
 }
 
+/// A histogram quantile as a table cell: saturated estimates (the rank
+/// fell into overflow, so the value is only a lower bound at the
+/// histogram ceiling) print as ">=<value>" instead of masquerading as a
+/// measurement.
+dtn::Cell quantile_cell(const dtn::Histogram& h, double q) {
+  const auto est = h.quantile_checked(q);
+  if (!est.saturated) return est.value;
+  std::ostringstream os;
+  os << ">=" << est.value;
+  return os.str();
+}
+
 void print_results(const SweepManifest& m,
                    const std::vector<dtn::ReplicatedMetrics>& aggs) {
   dtn::Table t({"x", "delivery", "±ci95", "hops", "overhead", "latency",
-                "lat p50", "lat p95", "runs"});
+                "lat p50", "lat p95", "lat ovf", "runs"});
   for (std::size_t i = 0; i < aggs.size(); ++i) {
     const auto& a = aggs[i];
     t.add_row({m.points[i].x, a.delivery_ratio.mean(),
                a.delivery_ratio.ci95_half_width(), a.avg_hopcount.mean(),
                a.overhead_ratio.mean(), a.avg_latency.mean(),
-               a.latency_hist.quantile(0.5), a.latency_hist.quantile(0.95),
+               quantile_cell(a.latency_hist, 0.5),
+               quantile_cell(a.latency_hist, 0.95),
+               a.latency_overflow_fraction(),
                static_cast<std::int64_t>(a.delivery_ratio.count())});
   }
   t.set_precision(4);
