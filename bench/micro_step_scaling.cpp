@@ -5,11 +5,23 @@
 // compares end-of-run digests — `event_digest_matches_legacy` in the
 // JSON is the AND over every cell and is gated by CI.
 //
+// Two row families:
+//   * paper rows (126/500/2000 nodes): the Table II scenario as-is, both
+//     paths timed over the full horizon;
+//   * large-N rows (10k/100k nodes): the same scenario at constant node
+//     density (area scaled with N) exercising the data-oriented core —
+//     SoA hot state, arena-pooled messages, hierarchical grid
+//     (DESIGN.md §14). The legacy path's O(N·messages) scans make full
+//     horizons impractical there, so the digest gate runs both paths
+//     over a short window and only the event path is timed in full.
+//
 //   ./micro_step_scaling [warm_s] [measure_s] [out.json]
 //
 // Writes a JSON report (default BENCH_step_scaling.json); the committed
 // copy at the repo root is produced with the default full horizons.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,12 +40,26 @@ struct RunResult {
   std::uint64_t digest = 0;
 };
 
-RunResult run_one(std::size_t nodes, const std::string& policy, bool legacy,
-                  double warm_s, double measure_s) {
+dtn::Scenario scaled_scenario(std::size_t nodes, const std::string& policy,
+                              bool legacy) {
   dtn::Scenario sc = dtn::Scenario::random_waypoint_paper();
+  if (nodes > sc.n_nodes) {
+    // Constant density: grow the area with the fleet so contact rates per
+    // node (and thus per-step work per node) match the paper scenario.
+    const double scale = std::sqrt(static_cast<double>(nodes) /
+                                   static_cast<double>(sc.n_nodes));
+    sc.rwp.area = dtn::Rect::sized(sc.rwp.area.width() * scale,
+                                   sc.rwp.area.height() * scale);
+  }
   sc.n_nodes = nodes;
   sc.policy = policy;
   sc.world.legacy_step = legacy;
+  return sc;
+}
+
+RunResult run_one(std::size_t nodes, const std::string& policy, bool legacy,
+                  double warm_s, double measure_s) {
+  dtn::Scenario sc = scaled_scenario(nodes, policy, legacy);
   sc.world.duration = warm_s + measure_s;
   auto world = dtn::build_world(sc);
   world->run_until(warm_s);
@@ -47,6 +73,19 @@ RunResult run_one(std::size_t nodes, const std::string& policy, bool legacy,
   r.delivered = world->stats().delivered;
   r.digest = world->digest();
   return r;
+}
+
+std::string row_json(std::size_t n, const std::string& policy,
+                     const char* mode, double legacy_sps, double event_sps,
+                     std::size_t delivered, bool match) {
+  const double speedup = legacy_sps > 0.0 ? event_sps / legacy_sps : 0.0;
+  return "    {\"nodes\": " + std::to_string(n) + ", \"policy\": \"" +
+         policy + "\", \"mode\": \"" + mode +
+         "\", \"legacy_steps_per_sec\": " + std::to_string(legacy_sps) +
+         ", \"event_steps_per_sec\": " + std::to_string(event_sps) +
+         ", \"speedup\": " + std::to_string(speedup) +
+         ", \"delivered\": " + std::to_string(delivered) +
+         ", \"digest_match\": " + (match ? "true" : "false") + "}";
 }
 
 }  // namespace
@@ -70,23 +109,51 @@ int main(int argc, char** argv) {
       const RunResult event = run_one(n, policy, false, warm_s, measure_s);
       const bool match = legacy.digest == event.digest;
       all_digests_match = all_digests_match && match;
-      const double speedup = legacy.steps_per_sec > 0.0
-                                 ? event.steps_per_sec / legacy.steps_per_sec
-                                 : 0.0;
       std::cout << "  N=" << n << " " << policy << ": legacy "
                 << legacy.steps_per_sec << " steps/s, event "
-                << event.steps_per_sec << " steps/s, speedup " << speedup
+                << event.steps_per_sec << " steps/s, speedup "
+                << (legacy.steps_per_sec > 0.0
+                        ? event.steps_per_sec / legacy.steps_per_sec
+                        : 0.0)
                 << "x, digest " << (match ? "match" : "MISMATCH") << "\n";
       if (!rows.empty()) rows += ",\n";
-      rows += "    {\"nodes\": " + std::to_string(n) + ", \"policy\": \"" +
-              policy + "\", \"legacy_steps_per_sec\": " +
-              std::to_string(legacy.steps_per_sec) +
-              ", \"event_steps_per_sec\": " +
-              std::to_string(event.steps_per_sec) +
-              ", \"speedup\": " + std::to_string(speedup) +
-              ", \"delivered\": " + std::to_string(event.delivered) +
-              ", \"digest_match\": " + (match ? "true" : "false") + "}";
+      rows += row_json(n, policy, "paper", legacy.steps_per_sec,
+                       event.steps_per_sec, event.delivered, match);
     }
+  }
+
+  // Large-N constant-density rows. The digest gate compares both paths
+  // over a window the legacy path can afford; the event path is then
+  // timed over the (longer) measure horizon on its own.
+  struct LargeRow {
+    std::size_t nodes;
+    double gate_s;     ///< digest-gate window (both paths)
+    double warm_s;
+    double measure_s;  ///< event-path timing window
+  };
+  const std::vector<LargeRow> large{
+      {10'000, std::min(measure_s, 120.0), std::min(warm_s, 60.0),
+       std::min(measure_s, 300.0)},
+      {100'000, std::min(measure_s, 30.0), std::min(warm_s, 20.0),
+       std::min(measure_s, 120.0)},
+  };
+  for (const LargeRow& lr : large) {
+    const std::string policy = "fifo";
+    const RunResult legacy_gate =
+        run_one(lr.nodes, policy, true, 0.0, lr.gate_s);
+    const RunResult event_gate =
+        run_one(lr.nodes, policy, false, 0.0, lr.gate_s);
+    const bool match = legacy_gate.digest == event_gate.digest;
+    all_digests_match = all_digests_match && match;
+    const RunResult event =
+        run_one(lr.nodes, policy, false, lr.warm_s, lr.measure_s);
+    std::cout << "  N=" << lr.nodes << " " << policy
+              << " (constant density): event " << event.steps_per_sec
+              << " steps/s, gate window " << lr.gate_s << " s digest "
+              << (match ? "match" : "MISMATCH") << "\n";
+    rows += ",\n" + row_json(lr.nodes, policy, "large-n-constant-density",
+                             0.0, event.steps_per_sec, event.delivered,
+                             match);
   }
 
   std::ofstream out(out_path);

@@ -7,20 +7,27 @@
 
 namespace dtn {
 
-Buffer::Buffer(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {
+Buffer::Buffer(std::int64_t capacity_bytes, MessageArena& arena,
+               NodeHotState* hot, NodeId owner)
+    : arena_(&arena), hot_(hot), owner_(owner), capacity_(capacity_bytes) {
   DTN_REQUIRE(capacity_bytes > 0, "Buffer: capacity must be positive");
+}
+
+Buffer::~Buffer() {
+  for (Handle h : handles_) arena_->free(h);
 }
 
 double Buffer::occupancy() const {
   return capacity_ > 0
-             ? static_cast<double>(used_) / static_cast<double>(capacity_)
+             ? static_cast<double>(used()) / static_cast<double>(capacity_)
              : 0.0;
 }
 
 bool Buffer::has(MessageId id) const { return find(id) != nullptr; }
 
 Message* Buffer::find(MessageId id) {
-  for (auto& m : messages_) {
+  for (Handle h : handles_) {
+    Message& m = arena_->get(h);
     if (m.id == id) return &m;
   }
   return nullptr;
@@ -34,21 +41,21 @@ bool Buffer::try_insert(Message m) {
   DTN_REQUIRE(!has(m.id), "Buffer: duplicate message id");
   DTN_REQUIRE(m.size > 0, "Buffer: message size must be positive");
   if (m.size > free()) return false;
-  used_ += m.size;
-  ++revision_;
-  messages_.push_back(std::move(m));
+  set_used(used() + m.size);
+  bump_revision();
+  handles_.push_back(arena_->alloc(std::move(m)));
   return true;
 }
 
 Message Buffer::take(MessageId id) {
-  const auto it =
-      std::find_if(messages_.begin(), messages_.end(),
-                   [id](const Message& m) { return m.id == id; });
-  DTN_REQUIRE(it != messages_.end(), "Buffer: take of absent message");
-  Message out = std::move(*it);
-  messages_.erase(it);
-  used_ -= out.size;
-  ++revision_;
+  const auto it = std::find_if(
+      handles_.begin(), handles_.end(),
+      [this, id](Handle h) { return arena_->get(h).id == id; });
+  DTN_REQUIRE(it != handles_.end(), "Buffer: take of absent message");
+  Message out = arena_->release(*it);
+  handles_.erase(it);
+  set_used(used() - out.size);
+  bump_revision();
   return out;
 }
 
@@ -93,9 +100,9 @@ void Buffer::save_state(snapshot::ArchiveWriter& out) const {
   // The revision counter is derived-but-deterministic (one bump per
   // membership change), so it is digest-safe; restoring it keeps
   // revision-keyed memo snapshots valid across checkpoint/restore.
-  out.u64(revision_);
-  out.u64(messages_.size());
-  for (const Message& m : messages_) save_message(out, m);
+  out.u64(revision());
+  out.u64(handles_.size());
+  for (Handle h : handles_) save_message(out, arena_->get(h));
   out.end_section();
 }
 
@@ -105,22 +112,24 @@ void Buffer::load_state(snapshot::ArchiveReader& in) {
   DTN_REQUIRE(capacity == capacity_,
               "buffer: snapshot capacity does not match this world");
   if (in.version() >= 2) {
-    revision_ = in.u64();
+    set_revision(in.u64());
   } else {
     // v1 predates the counter; restart it. Every revision-keyed memo is
     // also cleared on load, so nothing holds a stale revision.
-    revision_ = 0;
+    set_revision(0);
   }
-  messages_.clear();
-  used_ = 0;
+  for (Handle h : handles_) arena_->free(h);
+  handles_.clear();
+  std::int64_t used = 0;
   const std::uint64_t n = in.u64();
-  messages_.reserve(n);
+  handles_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     Message m = load_message(in);
-    used_ += m.size;
-    messages_.push_back(std::move(m));
+    used += m.size;
+    handles_.push_back(arena_->alloc(std::move(m)));
   }
-  DTN_REQUIRE(used_ <= capacity_, "buffer: snapshot overflows capacity");
+  set_used(used);
+  DTN_REQUIRE(used <= capacity_, "buffer: snapshot overflows capacity");
   in.end_section();
 }
 
@@ -130,16 +139,19 @@ std::vector<Message> Buffer::purge_expired(
   auto is_pinned = [&pinned](MessageId id) {
     return std::find(pinned.begin(), pinned.end(), id) != pinned.end();
   };
-  for (auto it = messages_.begin(); it != messages_.end();) {
-    if (it->expired(now) && !is_pinned(it->id)) {
-      used_ -= it->size;
-      ++revision_;
-      removed.push_back(std::move(*it));
-      it = messages_.erase(it);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    const Handle h = handles_[i];
+    const Message& m = arena_->get(h);
+    if (m.expired(now) && !is_pinned(m.id)) {
+      set_used(used() - m.size);
+      bump_revision();
+      removed.push_back(arena_->release(h));
     } else {
-      ++it;
+      handles_[keep++] = h;  // compact, preserving arrival order
     }
   }
+  handles_.resize(keep);
   return removed;
 }
 

@@ -11,10 +11,12 @@ namespace dtn {
 
 Node::Node(NodeId id, MobilityPtr mobility, std::int64_t buffer_capacity,
            const Router* router, const BufferPolicy* policy,
-           const NodeEstimatorConfig& est_cfg)
+           MessageArena& arena, const NodeEstimatorConfig& est_cfg,
+           NodeHotState* hot)
     : id_(id),
+      hot_(hot),
       mobility_(std::move(mobility)),
-      buffer_(buffer_capacity),
+      buffer_(buffer_capacity, arena, hot, id),
       router_(router),
       policy_(policy),
       imt_(est_cfg.prior_mean_intermeeting, est_cfg.min_intermeeting_samples,
@@ -118,7 +120,7 @@ void Node::save_state(snapshot::ArchiveWriter& out) const {
   write_sorted_id_set(out, known_delivered_);
   out.u64(pinned_.size());
   for (MessageId id : pinned_) out.u64(id);  // pin order is kernel state
-  out.boolean(radio_busy_);
+  out.boolean(radio_busy());
   prio_cache_.save_state(out);
   out.end_section();
 }
@@ -137,7 +139,7 @@ void Node::load_state(snapshot::ArchiveReader& in) {
   const std::uint64_t n_pinned = in.u64();
   pinned_.reserve(n_pinned);
   for (std::uint64_t i = 0; i < n_pinned; ++i) pinned_.push_back(in.u64());
-  radio_busy_ = in.boolean();
+  set_radio_busy(in.boolean());
   if (in.version() >= 2) {
     prio_cache_.load_state(in);
   } else {

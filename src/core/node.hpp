@@ -29,9 +29,12 @@ struct NodeEstimatorConfig {
 
 class Node {
  public:
+  /// Message copies live in `arena` (shared, World-owned in simulation;
+  /// test-local otherwise). `hot` binds this node's radio/buffer scalars
+  /// to the World's SoA block (nullptr keeps them in local fallbacks).
   Node(NodeId id, MobilityPtr mobility, std::int64_t buffer_capacity,
-       const Router* router, const BufferPolicy* policy,
-       const NodeEstimatorConfig& est_cfg = {});
+       const Router* router, const BufferPolicy* policy, MessageArena& arena,
+       const NodeEstimatorConfig& est_cfg = {}, NodeHotState* hot = nullptr);
 
   NodeId id() const { return id_; }
   MobilityModel& mobility() { return *mobility_; }
@@ -91,8 +94,16 @@ class Node {
   bool has_dropped(MessageId id) const { return dropped_.has_own_drop(id); }
 
   // --- radio / transfer state (maintained by the kernel) ---
-  bool radio_busy() const { return radio_busy_; }
-  void set_radio_busy(bool b) { radio_busy_ = b; }
+  bool radio_busy() const {
+    return hot_ != nullptr ? hot_->radio_busy[id_] != 0 : radio_busy_;
+  }
+  void set_radio_busy(bool b) {
+    if (hot_ != nullptr) {
+      hot_->radio_busy[id_] = b ? 1 : 0;
+    } else {
+      radio_busy_ = b;
+    }
+  }
   void pin(MessageId id) { pinned_.push_back(id); }
   void unpin(MessageId id);
   bool is_pinned(MessageId id) const;
@@ -131,6 +142,7 @@ class Node {
                       std::vector<MessageId>* victims) const;
 
   NodeId id_;
+  NodeHotState* hot_;  ///< World SoA block, or nullptr standalone
   MobilityPtr mobility_;
   Buffer buffer_;
   const Router* router_;

@@ -39,9 +39,12 @@ NodeId World::add_node(MobilityPtr mobility, std::int64_t buffer_capacity,
   DTN_REQUIRE(router_ != nullptr && policy_ != nullptr,
               "World: set router and policy before adding nodes");
   const auto id = static_cast<NodeId>(nodes_.size());
+  hot_.add_node(buffer_capacity);
   nodes_.push_back(std::make_unique<Node>(id, std::move(mobility),
                                           buffer_capacity, router_.get(),
-                                          policy_.get(), est_cfg));
+                                          policy_.get(), arena_, est_cfg,
+                                          &hot_));
+  mobility_raw_.push_back(&nodes_.back()->mobility());
   outgoing_.push_back(-1);
   kinetics_configured_ = false;  // fleet speed bound may have changed
   return id;
@@ -62,6 +65,7 @@ void World::push_expiry(NodeId node_id, SimTime expiry, MessageId msg) {
 
 void World::configure_kinetics() {
   kinetics_configured_ = true;
+  prepare_capacity();
   if (cfg_.legacy_step) {
     tracker_.set_motion_bound(-1.0);  // full contact pass every step
     return;
@@ -71,6 +75,47 @@ void World::configure_kinetics() {
     v_max = std::max(v_max, n->mobility().max_speed());
   }
   tracker_.set_motion_bound(std::isfinite(v_max) ? v_max * cfg_.step : -1.0);
+}
+
+void World::prepare_capacity() {
+  const std::size_t n = nodes_.size();
+  positions_.reserve(n);
+  tracker_.reserve_nodes(n);
+  if (cfg_.priority_cache) idle_memo_.reserve(std::max<std::size_t>(n, 64));
+  // Expected live arena slots: the traffic schedule creates one message
+  // per interval_min (worst case) living `ttl` seconds, each spread over
+  // at most initial_copies carriers; total residency is further capped by
+  // the fleet's aggregate buffer bytes. Clamp the estimate so degenerate
+  // configs (tiny intervals, huge ttl) cannot balloon the reservation.
+  std::size_t slots = 256;
+  if (gen_ != nullptr) {
+    const MessageGenConfig& tc = gen_->config();
+    const double horizon = std::min(tc.ttl, cfg_.duration);
+    const double interval = std::max(tc.interval_min, 1e-6);
+    const double by_rate = (horizon / interval) *
+                           static_cast<double>(std::max(tc.initial_copies, 1));
+    double cap_bytes = 0.0;
+    for (std::int64_t c : hot_.buffer_cap) cap_bytes += static_cast<double>(c);
+    const double by_bytes =
+        cap_bytes / static_cast<double>(std::max<std::int64_t>(tc.size, 1));
+    const double est = std::min(by_rate, by_bytes) + static_cast<double>(n);
+    slots = std::max(slots, static_cast<std::size_t>(std::min(
+                                est, static_cast<double>(1u << 18))));
+  }
+  arena_.reserve(slots);
+  // Per-node handle spans: a span only reallocates on powers of two, and
+  // a resident count past this reserve implies the scenario is buffer-
+  // bound, where admission churn (not span growth) dominates anyway.
+  if (gen_ != nullptr) {
+    const std::size_t per_node = std::min<std::size_t>(
+        64, static_cast<std::size_t>(std::max<std::int64_t>(
+                1, hot_.buffer_cap.empty()
+                       ? 1
+                       : hot_.buffer_cap[0] /
+                             std::max<std::int64_t>(gen_->config().size, 1))) +
+                1);
+    for (const auto& nd : nodes_) nd->buffer().reserve_handles(per_node);
+  }
 }
 
 void World::enable_traffic(const MessageGenConfig& cfg, std::uint64_t seed) {
@@ -131,15 +176,15 @@ void World::advance_mobility() {
   positions_.resize(n);
   if (pool_ != nullptr) {
     parallel_for_index(*pool_, n, kMobilityGrain, [this](std::size_t i) {
-      Node& nd = *nodes_[i];
-      nd.mobility().advance(cfg_.step);
-      positions_[i] = nd.mobility().position();
+      MobilityModel* m = mobility_raw_[i];
+      m->advance(cfg_.step);
+      positions_[i] = m->position();
     });
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      Node& nd = *nodes_[i];
-      nd.mobility().advance(cfg_.step);
-      positions_[i] = nd.mobility().position();
+      MobilityModel* m = mobility_raw_[i];
+      m->advance(cfg_.step);
+      positions_[i] = m->position();
     }
   }
 }
@@ -213,11 +258,13 @@ void World::apply_fault_events() {
   while (fault_->pop_due(now_, &e)) {
     switch (e.kind) {
       case FaultPlan::Kind::kNodeDown:
+        hot_.up[e.node] = 0;
         // Immediate abort (not deferred to the live-set diff) so even a
         // down+up pair landing within one step kills the transfer.
         abort_faulted_transfer_of(e.node);
         break;
       case FaultPlan::Kind::kNodeUp:
+        hot_.up[e.node] = 1;
         stats_.downtime_s += e.down_duration;
         if (fault_->config().reboot_purge) purge_on_reboot(node(e.node));
         break;
@@ -240,7 +287,11 @@ void World::apply_fault_events() {
         break;
       case FaultPlan::Kind::kDegradeStart:
       case FaultPlan::Kind::kDegradeEnd:
-        break;  // flags flipped in the plan; the live-set refresh reacts
+        // Flags flipped in the plan; refresh the SoA mirrors so the
+        // live-set derivation streams arrays instead of plan lookups.
+        hot_.range_factor[e.node] = fault_->range_factor(e.node);
+        hot_.bitrate_factor[e.node] = fault_->bitrate_factor(e.node);
+        break;
     }
   }
 }
@@ -281,16 +332,18 @@ void World::purge_on_reboot(Node& n) {
 }
 
 void World::compute_live_contacts(std::vector<NodePair>& out) const {
+  // Streams the SoA fault mirrors and the positions_ scratch (refreshed
+  // by advance_mobility each step and by rebuild_event_queues on load)
+  // instead of chasing Node/FaultPlan state per pair.
   out.clear();
   for (const NodePair& p : tracker_.current()) {
     const auto a = static_cast<NodeId>(p.first);
     const auto b = static_cast<NodeId>(p.second);
-    if (!fault_->is_up(a) || !fault_->is_up(b)) continue;
-    const double f =
-        std::min(fault_->range_factor(a), fault_->range_factor(b));
+    if (hot_.up[a] == 0 || hot_.up[b] == 0) continue;
+    const double f = std::min(hot_.range_factor[a], hot_.range_factor[b]);
     if (f < 1.0) {
-      const Vec2 pa = nodes_[a]->mobility().position();
-      const Vec2 pb = nodes_[b]->mobility().position();
+      const Vec2 pa = positions_[a];
+      const Vec2 pb = positions_[b];
       const double dx = pa.x - pb.x;
       const double dy = pa.y - pb.y;
       const double r = cfg_.range * f;
@@ -346,8 +399,8 @@ void World::process_link_down(const NodePair& p) {
   abort_transfers_on(p);
   Node& a = node(static_cast<NodeId>(p.first));
   Node& b = node(static_cast<NodeId>(p.second));
-  idle_memo_.erase(std::make_pair(a.id(), b.id()));
-  idle_memo_.erase(std::make_pair(b.id(), a.id()));
+  idle_memo_.erase(a.id(), b.id());
+  idle_memo_.erase(b.id(), a.id());
   a.note_contact_end(p.second, now_);
   b.note_contact_end(p.first, now_);
   notify([&p, this](WorldObserver& o) { o.on_link_down(p, now_); });
@@ -570,7 +623,7 @@ void World::generate_traffic() {
     const SimTime expiry = m.expiry();
     registry_.on_created(id, src);
     notify([&m, this](WorldObserver& o) { o.on_message_created(m, now_); });
-    if (fault_ != nullptr && !fault_->is_up(src)) {
+    if (fault_ != nullptr && hot_.up[src] == 0) {
       // The application layer produced the message (the generator's
       // schedule is fault-independent) but the node is down: it is lost
       // at the source. No record_drop — the policy never saw it.
@@ -686,31 +739,35 @@ void World::start_transfers() {
 }
 
 void World::try_start(NodeId from_id, NodeId to_id) {
+  if (hot_.radio_busy[from_id] != 0 || hot_.radio_busy[to_id] != 0) return;
+  // Routers choose from the sender's buffer by contract: an empty buffer
+  // can never yield a candidate, so skip the router (and the memo) — the
+  // dominant case in sparse large-N fleets. Buffer admission rejects
+  // size == 0, so used == 0 ⟺ empty and the SoA occupancy answers it
+  // without touching the Node object.
+  if (hot_.buffer_used[from_id] == 0) return;
   Node& from = node(from_id);
   Node& to = node(to_id);
-  if (from.radio_busy() || to.radio_busy()) return;
-  const auto key = std::make_pair(from_id, to_id);
   if (cfg_.priority_cache) {
-    const auto it = idle_memo_.find(key);
-    if (it != idle_memo_.end()) {
-      const IdleMemo& m = it->second;
-      if (now_ - m.at <= cfg_.priority_refresh_s &&
-          m.from_stamp == from.priority_cache().stamp() &&
-          m.from_rev == from.buffer().revision() &&
-          m.to_stamp == to.priority_cache().stamp() &&
-          m.to_rev == to.buffer().revision()) {
+    if (const IdleMemo* m = idle_memo_.find(from_id, to_id)) {
+      if (now_ - m->at <= cfg_.priority_refresh_s &&
+          m->from_stamp == from.priority_cache().stamp() &&
+          m->from_rev == from.buffer().revision() &&
+          m->to_stamp == to.priority_cache().stamp() &&
+          m->to_rev == to.buffer().revision()) {
         return;  // nothing was sendable and no priority input moved since
       }
-      idle_memo_.erase(it);
+      idle_memo_.erase(from_id, to_id);
     }
   }
   const auto msg = router_->next_to_send(from, to, ctx_for(from));
   if (!msg.has_value()) {
     if (cfg_.priority_cache) {
-      idle_memo_[key] =
+      idle_memo_.insert_or_assign(
+          from_id, to_id,
           IdleMemo{now_, from.priority_cache().stamp(),
                    from.buffer().revision(), to.priority_cache().stamp(),
-                   to.buffer().revision()};
+                   to.buffer().revision()});
     }
     return;
   }
@@ -728,8 +785,8 @@ void World::try_start(NodeId from_id, NodeId to_id) {
   if (fault_ != nullptr) {
     // Degraded endpoints throttle the link; the eta is fixed at start
     // (a window opening or closing mid-transfer does not retime it).
-    bandwidth *= std::min(fault_->bitrate_factor(from_id),
-                          fault_->bitrate_factor(to_id));
+    bandwidth *= std::min(hot_.bitrate_factor[from_id],
+                          hot_.bitrate_factor[to_id]);
   }
   t.eta = now_ + static_cast<double>(copy->size) / bandwidth;
   t.seq = transfer_seq_++;
@@ -794,8 +851,13 @@ void World::purge_acked(Node& n) {
 }
 
 void World::sample_occupancy() {
+  // Streams the SoA byte-accounting arrays; Buffer requires a positive
+  // capacity, so the per-node ratio is always well-defined.
   double total = 0.0;
-  for (const auto& n : nodes_) total += n->buffer().occupancy();
+  for (std::size_t i = 0; i < hot_.buffer_used.size(); ++i) {
+    total += static_cast<double>(hot_.buffer_used[i]) /
+             static_cast<double>(hot_.buffer_cap[i]);
+  }
   stats_.buffer_occupancy.add(total / static_cast<double>(nodes_.size()));
 }
 
@@ -886,15 +948,21 @@ void World::save_state(snapshot::ArchiveWriter& out) const {
   // restored run skips the same try_start calls an uninterrupted one does.
   if (!out.digest_only()) {
     out.u64(idle_memo_.size());
-    for (const auto& [p, m] : idle_memo_) {  // std::map iterates sorted
-      out.u32(p.first);
-      out.u32(p.second);
-      out.f64(m.at);
-      out.u64(m.from_stamp);
-      out.u64(m.from_rev);
-      out.u64(m.to_stamp);
-      out.u64(m.to_rev);
-    }
+    idle_memo_.for_each_sorted(
+        [&out](NodeId from, NodeId to, const IdleMemo& m) {
+          out.u32(from);
+          out.u32(to);
+          out.f64(m.at);
+          out.u64(m.from_stamp);
+          out.u64(m.from_rev);
+          out.u64(m.to_stamp);
+          out.u64(m.to_rev);
+        });
+    // v5: arena sizing hints — a restored run pre-sizes its slabs to the
+    // interrupted run's population instead of re-growing them. Derived
+    // state: never hashed, informational on read.
+    out.u64(arena_.high_water());
+    out.u64(arena_.free_count());
   }
   out.end_section();
 }
@@ -946,6 +1014,7 @@ void World::load_state(snapshot::ArchiveReader& in) {
   idle_memo_.clear();
   if (in.version() >= 2) {
     const std::uint64_t n_memo = in.u64();
+    idle_memo_.reserve(n_memo);
     for (std::uint64_t i = 0; i < n_memo; ++i) {
       const NodeId a = in.u32();
       const NodeId b = in.u32();
@@ -955,8 +1024,13 @@ void World::load_state(snapshot::ArchiveReader& in) {
       m.from_rev = in.u64();
       m.to_stamp = in.u64();
       m.to_rev = in.u64();
-      idle_memo_[std::make_pair(a, b)] = m;
+      idle_memo_.insert_or_assign(a, b, m);
     }
+  }
+  if (in.version() >= 5) {
+    const std::uint64_t high_water = in.u64();
+    in.u64();  // free count: informational
+    arena_.reserve(high_water);
   }
   in.end_section();
   rebuild_event_queues();
@@ -993,8 +1067,19 @@ void World::rebuild_event_queues() {
   std::make_heap(expiry_heap_.begin(), expiry_heap_.end(), &expiry_after);
   // The live contact set is derived: the restored tracker pairs filtered
   // through the restored plan flags at the restored positions reproduce
-  // exactly the set the interrupted run held.
-  if (fault_ != nullptr) compute_live_contacts(live_contacts_);
+  // exactly the set the interrupted run held. The SoA fault mirrors and
+  // the positions_ scratch (its inputs) are refreshed first — the next
+  // advance_mobility has not run yet.
+  if (fault_ != nullptr) {
+    positions_.resize(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      positions_[i] = nodes_[i]->mobility().position();
+      hot_.up[i] = fault_->is_up(static_cast<NodeId>(i)) ? 1 : 0;
+      hot_.range_factor[i] = fault_->range_factor(static_cast<NodeId>(i));
+      hot_.bitrate_factor[i] = fault_->bitrate_factor(static_cast<NodeId>(i));
+    }
+    compute_live_contacts(live_contacts_);
+  }
 }
 
 std::uint64_t World::digest() const {

@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "src/core/buffer_policy.hpp"
+#include "src/core/hot_state.hpp"
+#include "src/core/idle_table.hpp"
+#include "src/core/message_arena.hpp"
 #include "src/core/message_generator.hpp"
 #include "src/core/node.hpp"
 #include "src/core/observer.hpp"
@@ -128,6 +131,10 @@ class World {
   const std::vector<Transfer>& transfers_in_flight() const { return transfers_; }
   const Router& router() const { return *router_; }
   const BufferPolicy& policy() const { return *policy_; }
+  /// The slab arena holding every buffered message copy (DESIGN.md §14).
+  const MessageArena& arena() const { return arena_; }
+  /// The per-node SoA hot-state block (radio, buffer, fault mirrors).
+  const NodeHotState& hot_state() const { return hot_; }
   /// The active fault plan, or nullptr when fault injection is off.
   const FaultPlan* faults() const { return fault_.get(); }
   /// Links usable this step: the geometric contact set, minus pairs
@@ -230,24 +237,16 @@ class World {
   /// Reconstructs outgoing_/heaps/seqs from restored transfers+buffers.
   void rebuild_event_queues();
 
+  /// Pre-sizes the arena, handle spans, idle table and grid directories
+  /// from the fleet size and traffic schedule so the steady-state step
+  /// loop allocates nothing even at 100k nodes (runs once, lazily, with
+  /// configure_kinetics).
+  void prepare_capacity();
+
   template <typename Fn>
   void notify(Fn&& fn) {
     for (WorldObserver* o : observers_) fn(*o);
   }
-
-  /// Cached "nothing to send" verdict of `try_start(from, to)`. Valid
-  /// while neither endpoint's priority-input fingerprint (cache stamp +
-  /// buffer revision) changes and the refresh quantum has not elapsed;
-  /// every event that could create a sendable candidate — an insert, a
-  /// drop, a copy-count change, an estimator or dropped-list update —
-  /// moves one of the four counters. Entries die with their link.
-  struct IdleMemo {
-    SimTime at = 0.0;
-    std::uint64_t from_stamp = 0;
-    std::uint64_t from_rev = 0;
-    std::uint64_t to_stamp = 0;
-    std::uint64_t to_rev = 0;
-  };
 
   WorldConfig cfg_;
   /// Workers for the intra-step parallel phases; nullptr when
@@ -257,7 +256,14 @@ class World {
   std::vector<WorldObserver*> observers_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<BufferPolicy> policy_;
+  /// Declared before nodes_: buffers free their arena handles on
+  /// destruction, so the arena must outlive every Node.
+  MessageArena arena_;
+  NodeHotState hot_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Non-owning mobility pointers parallel to nodes_: the per-step
+  /// advance loop streams over these without chasing Node objects.
+  std::vector<MobilityModel*> mobility_raw_;
   ContactTracker tracker_;
   /// Active transfers, unordered (swap-pop removal). At most one per
   /// sender — try_start serializes on the radio — so `outgoing_` below
@@ -298,9 +304,9 @@ class World {
   std::vector<MessageId> doomed_scratch_;  ///< purge_acked / purge_on_reboot
 
   /// Keyed by the *directional* (from, to) pair, unlike the sorted
-  /// NodePair convention elsewhere. std::map for deterministic
-  /// serialization order.
-  std::map<std::pair<NodeId, NodeId>, IdleMemo> idle_memo_;
+  /// NodePair convention elsewhere; serialization iterates in sorted key
+  /// order (see idle_table.hpp), byte-identical to the former std::map.
+  IdleTable idle_memo_;
 
   // Fig. 3 collection: per-pair last contact end / start.
   std::map<NodePair, double> pair_last_end_;

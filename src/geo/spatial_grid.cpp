@@ -29,10 +29,83 @@ void SpatialGrid::rebuild(const std::vector<Vec2>& positions) {
   rebuild_index();
 }
 
+void SpatialGrid::reserve_nodes(std::size_t n) {
+  positions_.reserve(n);
+  slots_.reserve(n);
+  node_cell_.reserve(n);
+}
+
 void SpatialGrid::rebuild_index() {
-  slots_.resize(positions_.size());
+  const std::size_t n = positions_.size();
+  slots_.resize(n);
+  node_cell_.resize(n);
+  // Pass 1: fine cell per node + bounding box of occupied coarse tiles.
+  std::int64_t min_cx = 0, max_cx = -1, min_cy = 0, max_cy = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 p = positions_[i];
+    const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
+    const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
+    node_cell_[i] = key(cx, cy);
+    const std::int64_t ccx = cx >> kCoarseShift;  // floor division
+    const std::int64_t ccy = cy >> kCoarseShift;
+    if (i == 0) {
+      min_cx = max_cx = ccx;
+      min_cy = max_cy = ccy;
+    } else {
+      min_cx = std::min(min_cx, ccx);
+      max_cx = std::max(max_cx, ccx);
+      min_cy = std::min(min_cy, ccy);
+      max_cy = std::max(max_cy, ccy);
+    }
+  }
+  const std::int64_t cols = max_cx - min_cx + 1;
+  const std::int64_t rows = max_cy - min_cy + 1;
+  hier_ = n > 0 && cols > 0 && rows > 0 && cols <= kMaxCoarseCells &&
+          rows <= kMaxCoarseCells && cols * rows <= kMaxCoarseCells;
+  if (!hier_) {
+    rebuild_flat();
+    return;
+  }
+  coarse_min_x_ = min_cx;
+  coarse_min_y_ = min_cy;
+  coarse_cols_ = cols;
+  coarse_rows_ = rows;
+  const auto tiles = static_cast<std::size_t>(cols * rows);
+  // Counting sort by coarse tile. coarse_start_ becomes the prefix-sum
+  // directory; coarse_fill_ the per-tile placement cursors.
+  coarse_start_.assign(tiles + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = coarse_index(unpack_cx(node_cell_[i]),
+                                       unpack_cy(node_cell_[i]));
+    ++coarse_start_[t + 1];
+  }
+  for (std::size_t t = 1; t <= tiles; ++t) {
+    coarse_start_[t] += coarse_start_[t - 1];
+  }
+  coarse_fill_.assign(coarse_start_.begin(), coarse_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = coarse_index(unpack_cx(node_cell_[i]),
+                                       unpack_cy(node_cell_[i]));
+    slots_[coarse_fill_[t]++] =
+        Slot{node_cell_[i], static_cast<std::uint32_t>(i)};
+  }
+  // Per-tile sort by (fine cell, node) — tiles hold only the nodes of an
+  // 8x8 cell patch, so these sorts stay tiny even with dense clusters.
+  for (std::size_t t = 0; t < tiles; ++t) {
+    std::sort(slots_.begin() + coarse_start_[t],
+              slots_.begin() + coarse_start_[t + 1],
+              [](const Slot& a, const Slot& b) {
+                if (a.cell != b.cell) return a.cell < b.cell;
+                return a.node < b.node;
+              });
+  }
+  cell_keys_.clear();
+  cell_start_.clear();
+}
+
+void SpatialGrid::rebuild_flat() {
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    slots_[i].cell = key_of(positions_[i]);
+    slots_[i].cell = node_cell_[i];
     slots_[i].node = static_cast<std::uint32_t>(i);
   }
   std::sort(slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
@@ -48,12 +121,48 @@ void SpatialGrid::rebuild_index() {
     }
   }
   cell_start_.push_back(static_cast<std::uint32_t>(slots_.size()));
+  coarse_start_.clear();
+}
+
+std::size_t SpatialGrid::coarse_index(std::int64_t cx, std::int64_t cy) const {
+  const std::int64_t ccx = (cx >> kCoarseShift) - coarse_min_x_;
+  const std::int64_t ccy = (cy >> kCoarseShift) - coarse_min_y_;
+  if (ccx < 0 || ccx >= coarse_cols_ || ccy < 0 || ccy >= coarse_rows_) {
+    return SIZE_MAX;
+  }
+  return static_cast<std::size_t>(ccy * coarse_cols_ + ccx);
 }
 
 std::size_t SpatialGrid::find_cell(CellKey k) const {
   const auto it = std::lower_bound(cell_keys_.begin(), cell_keys_.end(), k);
   if (it == cell_keys_.end() || *it != k) return SIZE_MAX;
   return static_cast<std::size_t>(it - cell_keys_.begin());
+}
+
+void SpatialGrid::cell_span(std::int64_t cx, std::int64_t cy,
+                            std::uint32_t* lo, std::uint32_t* hi) const {
+  *lo = *hi = 0;
+  if (hier_) {
+    const std::size_t t = coarse_index(cx, cy);
+    if (t == SIZE_MAX) return;
+    const CellKey k = key(cx, cy);
+    const auto first = slots_.begin() + coarse_start_[t];
+    const auto last = slots_.begin() + coarse_start_[t + 1];
+    // The tile's slots are sorted by packed fine key; binary-search the
+    // cell's run within it.
+    const auto a = std::lower_bound(
+        first, last, k,
+        [](const Slot& s, CellKey kk) { return s.cell < kk; });
+    auto b = a;
+    while (b != last && b->cell == k) ++b;
+    *lo = static_cast<std::uint32_t>(a - slots_.begin());
+    *hi = static_cast<std::uint32_t>(b - slots_.begin());
+    return;
+  }
+  const std::size_t c = find_cell(key(cx, cy));
+  if (c == SIZE_MAX) return;
+  *lo = cell_start_[c];
+  *hi = cell_start_[c + 1];
 }
 
 void SpatialGrid::for_each_pair_within(
@@ -79,16 +188,55 @@ void SpatialGrid::collect_pairs_within(double radius, std::size_t begin,
   const double r2 = radius * radius;
   const std::size_t first = out.size();
   // Collect candidate pairs, then sort so the emitted order does not
-  // depend on bucket layout (determinism across libstdc++s).
+  // depend on bucket layout (determinism across layouts and libstdc++s).
   for (std::size_t i = begin; i < end && i < positions_.size(); ++i) {
     const Vec2 p = positions_[i];
-    const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
-    const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
+    const CellKey k = node_cell_[i];
+    const std::int64_t cx = unpack_cx(k);
+    const std::int64_t cy = unpack_cy(k);
+    if (hier_) {
+      // Column runs instead of 9 independent cell lookups: keys sort by
+      // (cx, cy), so within one coarse tile the cells (cx+dx, cy-1..cy+1)
+      // occupy one contiguous key range — one binary search + forward
+      // scan per column per tile (two tiles when the column straddles a
+      // vertical tile edge, which also keeps each segment sign-pure so
+      // the unsigned key order stays monotone in cy).
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t col = cx + dx;
+        std::int64_t y0 = cy - 1;
+        while (y0 <= cy + 1) {
+          const std::int64_t ccy = y0 >> kCoarseShift;
+          const std::int64_t ytop =
+              std::min(cy + 1, (ccy << kCoarseShift) + (1 << kCoarseShift) - 1);
+          const std::size_t t = coarse_index(col, y0);
+          if (t != SIZE_MAX) {
+            const CellKey klo = key(col, y0);
+            const CellKey khi = key(col, ytop);
+            const auto first = slots_.begin() + coarse_start_[t];
+            const auto last = slots_.begin() + coarse_start_[t + 1];
+            auto s = std::lower_bound(
+                first, last, klo,
+                [](const Slot& sl, CellKey kk) { return sl.cell < kk; });
+            for (; s != last && s->cell <= khi; ++s) {
+              const std::size_t j = s->node;
+              if (j <= i) continue;
+              const double d2 = distance2(p, positions_[j]);
+              if (d2 <= r2) {
+                out.push_back(PairHit{static_cast<std::uint32_t>(i),
+                                      static_cast<std::uint32_t>(j), d2});
+              }
+            }
+          }
+          y0 = ytop + 1;
+        }
+      }
+      continue;
+    }
     for (std::int64_t dx = -1; dx <= 1; ++dx) {
       for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        const std::size_t c = find_cell(key(cx + dx, cy + dy));
-        if (c == SIZE_MAX) continue;
-        for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+        std::uint32_t lo = 0, hi = 0;
+        cell_span(cx + dx, cy + dy, &lo, &hi);
+        for (std::uint32_t s = lo; s < hi; ++s) {
           const std::size_t j = slots_[s].node;
           if (j <= i) continue;
           const double d2 = distance2(p, positions_[j]);
@@ -116,9 +264,9 @@ std::vector<std::size_t> SpatialGrid::query(Vec2 p, double radius,
   const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
   for (std::int64_t dx = -reach; dx <= reach; ++dx) {
     for (std::int64_t dy = -reach; dy <= reach; ++dy) {
-      const std::size_t c = find_cell(key(cx + dx, cy + dy));
-      if (c == SIZE_MAX) continue;
-      for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+      std::uint32_t lo = 0, hi = 0;
+      cell_span(cx + dx, cy + dy, &lo, &hi);
+      for (std::uint32_t s = lo; s < hi; ++s) {
         const std::size_t j = slots_[s].node;
         if (j == exclude) continue;
         if (distance2(p, positions_[j]) <= r2) out.push_back(j);

@@ -1,11 +1,24 @@
-// Uniform spatial hash grid for O(n) radius-limited neighbor queries.
+// Hierarchical spatial hash grid for O(n) radius-limited neighbor queries.
 //
 // The contact detector rebuilds the grid each movement step and enumerates
-// all node pairs within transmission range without the O(n^2) scan. The
-// index is a flat sorted (cell, node) array with a binary-searched cell
-// directory — rebuilding reuses the same buffers, so a steady-state
-// rebuild performs no heap allocation (unlike the former
-// unordered_map<cell, vector> layout, which churned buckets every step).
+// all node pairs within transmission range without the O(n^2) scan. Two
+// layouts share one query interface (DESIGN.md §14):
+//
+//   * hierarchical (the default): fine cells of size `cell` are grouped
+//     8x8 into coarse tiles backed by a *dense* directory over the
+//     occupied bounding box. A rebuild is a counting sort of nodes into
+//     coarse buckets (O(n + tiles)) followed by tiny per-bucket sorts by
+//     (fine cell, node) — no global O(n log n) sort — and a fine-cell
+//     lookup is one directory index plus a binary search within its
+//     bucket, which stays shallow even for skewed dense clusters.
+//   * flat (fallback): the former global sorted (cell, node) slot array
+//     with a binary-searched sparse directory, used when positions are so
+//     spread out that a dense coarse directory would be unreasonably
+//     large (kMaxCoarseCells).
+//
+// Both layouts fill the same reused buffers, so a steady-state rebuild
+// performs no heap allocation, and every query sorts its output by
+// (i, j) — enumeration order is identical across layouts.
 #pragma once
 
 #include <cstdint>
@@ -62,16 +75,42 @@ class SpatialGrid {
 
   std::size_t size() const { return positions_.size(); }
 
+  /// True while the last rebuild used the hierarchical layout.
+  bool hierarchical() const { return hier_; }
+
+  /// Pre-sizes the per-node buffers for an `n`-node fleet.
+  void reserve_nodes(std::size_t n);
+
  private:
   using CellKey = std::int64_t;
+  /// Fine cells per coarse tile edge (8x8).
+  static constexpr std::int64_t kCoarseShift = 3;
+  /// Dense-directory budget; beyond this the flat layout takes over.
+  static constexpr std::int64_t kMaxCoarseCells = std::int64_t{1} << 21;
+
   CellKey key(std::int64_t cx, std::int64_t cy) const {
     // Pack two 32-bit cell coordinates; fine for any realistic world.
     return (cx << 32) ^ (cy & 0xFFFFFFFFLL);
   }
+  static std::int64_t unpack_cx(CellKey k) {
+    return static_cast<std::int32_t>(
+        static_cast<std::uint64_t>(k) >> 32);
+  }
+  static std::int64_t unpack_cy(CellKey k) {
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(k & 0xFFFFFFFFLL));
+  }
   CellKey key_of(Vec2 p) const;
   void rebuild_index();
-  /// Index into cell_keys_/cell_start_ for `k`, or npos if the cell is empty.
+  void rebuild_flat();
+  /// Index into cell_keys_/cell_start_ for `k`, or npos (flat layout).
   std::size_t find_cell(CellKey k) const;
+  /// Dense coarse-directory index for fine coords, or npos if outside.
+  std::size_t coarse_index(std::int64_t cx, std::int64_t cy) const;
+  /// Slot range [lo, hi) of fine cell (cx, cy), empty when absent.
+  /// Dispatches on the active layout.
+  void cell_span(std::int64_t cx, std::int64_t cy, std::uint32_t* lo,
+                 std::uint32_t* hi) const;
 
   struct Slot {
     CellKey cell = 0;
@@ -80,9 +119,19 @@ class SpatialGrid {
 
   double cell_;
   std::vector<Vec2> positions_;
-  std::vector<Slot> slots_;               ///< sorted by (cell, node)
+  std::vector<Slot> slots_;  ///< hier: coarse-bucketed; flat: global sort
+  // --- flat layout ---
   std::vector<CellKey> cell_keys_;        ///< distinct cells, ascending
   std::vector<std::uint32_t> cell_start_; ///< slot ranges; size = cells + 1
+  // --- hierarchical layout ---
+  bool hier_ = false;
+  std::int64_t coarse_min_x_ = 0;  ///< bbox of occupied coarse tiles
+  std::int64_t coarse_min_y_ = 0;
+  std::int64_t coarse_cols_ = 0;
+  std::int64_t coarse_rows_ = 0;
+  std::vector<std::uint32_t> coarse_start_;  ///< prefix sums; tiles + 1
+  std::vector<std::uint32_t> coarse_fill_;   ///< counting-sort cursors
+  std::vector<CellKey> node_cell_;           ///< per-node fine cell key
   mutable std::vector<PairHit> pair_scratch_;
 };
 

@@ -180,19 +180,23 @@ void ContactTracker::full_pass(const std::vector<Vec2>& positions) {
       max_c2 = std::max(max_c2, sh.max_c2);
     }
   } else {
-    grid_.for_each_pair_within(
-        reach, [&](std::size_t i, std::size_t j, double d2) {
-          const bool in = d2 <= r2;
-          if (in) next_.emplace_back(i, j);  // emitted in sorted (i, j) order
-          if (slack_ > 0.0 && d2 >= lo2 && d2 <= hi2) {
-            watch_.push_back({static_cast<std::uint32_t>(i),
-                              static_cast<std::uint32_t>(j), in});
-          } else if (in) {
-            max_c2 = std::max(max_c2, d2);
-          } else {
-            min_nc2 = std::min(min_nc2, d2);
-          }
-        });
+    // collect_pairs_within rather than the std::function visitor: the
+    // capture list would not fit std::function's inline buffer, and a
+    // heap-allocated callback per pass breaks the zero-steady-state-
+    // allocation property the parallel-step tests pin.
+    hits_.clear();
+    grid_.collect_pairs_within(reach, 0, positions.size(), hits_);
+    for (const SpatialGrid::PairHit& h : hits_) {
+      const bool in = h.d2 <= r2;
+      if (in) next_.emplace_back(h.i, h.j);  // emitted in sorted (i, j) order
+      if (slack_ > 0.0 && h.d2 >= lo2 && h.d2 <= hi2) {
+        watch_.push_back({h.i, h.j, in});
+      } else if (in) {
+        max_c2 = std::max(max_c2, h.d2);
+      } else {
+        min_nc2 = std::min(min_nc2, h.d2);
+      }
+    }
   }
   std::set_difference(next_.begin(), next_.end(), current_.begin(),
                       current_.end(), std::back_inserter(churn_.went_up));

@@ -96,6 +96,18 @@ class ContactTracker {
 
   double range() const { return range_; }
 
+  /// The spatial index backing full passes (introspection for tests).
+  const SpatialGrid& grid() const { return grid_; }
+
+  /// Pre-sizes the grid and position/pair buffers for an `n`-node fleet
+  /// so the first full passes do not grow them inside the step loop.
+  void reserve_nodes(std::size_t n) {
+    grid_.reserve_nodes(n);
+    prev_.reserve(n);
+    next_.reserve(n);
+    current_.reserve(n);
+  }
+
   /// Diagnostics: how many updates ran a full grid pass vs. were skipped
   /// on the kinetic bound.
   std::size_t update_count() const { return updates_; }
@@ -148,6 +160,7 @@ class ContactTracker {
   std::size_t full_passes_ = 0;
   ThreadPool* pool_ = nullptr;     ///< non-owning; nullptr = serial
   std::vector<Shard> shards_;      ///< parallel scratch, reused
+  std::vector<SpatialGrid::PairHit> hits_;  ///< serial full-pass scratch
 };
 
 }  // namespace dtn

@@ -29,12 +29,13 @@ namespace dtn::snapshot {
 /// version on any layout change; readers reject archives whose version
 /// they do not understand (no silent best-effort decoding).
 inline constexpr std::uint32_t kArchiveMagic = 0x534E5444u;  // "DTNS" LE
-// v4: fault-injection state — FaultPlan (RNG stream, availability and
-// degradation flags, pending event schedule) plus the fault counters in
-// SimStats. (v3: event-driven core kinetic state; v2: priority cache.)
+// v5: message-arena sizing hints (high-water slot count, free-list depth)
+// in buffered checkpoints so a restored World pre-sizes its slabs. (v4:
+// fault-injection state — FaultPlan plus the fault counters in SimStats;
+// v3: event-driven core kinetic state; v2: priority cache.)
 // Since v4, readers accept any older version: each load_state consults
 // ArchiveReader::version() and skips sections the writer predates.
-inline constexpr std::uint32_t kArchiveVersion = 4;
+inline constexpr std::uint32_t kArchiveVersion = 5;
 inline constexpr std::uint32_t kArchiveMinVersion = 1;
 
 /// Streaming 64-bit FNV-1a.

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/buffer.hpp"
+#include "src/core/message_arena.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
@@ -21,7 +22,8 @@ Message msg(MessageId id, std::int64_t size, SimTime created = 0.0,
 }
 
 TEST(Buffer, StartsEmpty) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   EXPECT_EQ(b.capacity(), 1000);
   EXPECT_EQ(b.used(), 0);
   EXPECT_EQ(b.free(), 1000);
@@ -30,12 +32,14 @@ TEST(Buffer, StartsEmpty) {
 }
 
 TEST(Buffer, RejectsNonPositiveCapacity) {
-  EXPECT_THROW(Buffer(0), PreconditionError);
-  EXPECT_THROW(Buffer(-5), PreconditionError);
+  MessageArena arena;
+  EXPECT_THROW(Buffer(0, arena), PreconditionError);
+  EXPECT_THROW(Buffer(-5, arena), PreconditionError);
 }
 
 TEST(Buffer, InsertTracksBytes) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   EXPECT_TRUE(b.try_insert(msg(1, 400)));
   EXPECT_EQ(b.used(), 400);
   EXPECT_EQ(b.free(), 600);
@@ -45,7 +49,8 @@ TEST(Buffer, InsertTracksBytes) {
 }
 
 TEST(Buffer, InsertFailsWhenFull) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   EXPECT_TRUE(b.try_insert(msg(1, 700)));
   EXPECT_FALSE(b.try_insert(msg(2, 400)));
   EXPECT_EQ(b.count(), 1u);
@@ -53,13 +58,15 @@ TEST(Buffer, InsertFailsWhenFull) {
 }
 
 TEST(Buffer, DuplicateIdThrows) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   EXPECT_TRUE(b.try_insert(msg(1, 100)));
   EXPECT_THROW(b.try_insert(msg(1, 100)), PreconditionError);
 }
 
 TEST(Buffer, FindAndHas) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   b.try_insert(msg(5, 100));
   EXPECT_TRUE(b.has(5));
   EXPECT_FALSE(b.has(6));
@@ -69,7 +76,8 @@ TEST(Buffer, FindAndHas) {
 }
 
 TEST(Buffer, TakeRemovesAndReturns) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   b.try_insert(msg(1, 300));
   b.try_insert(msg(2, 200));
   const Message out = b.take(1);
@@ -79,12 +87,14 @@ TEST(Buffer, TakeRemovesAndReturns) {
 }
 
 TEST(Buffer, TakeMissingThrows) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   EXPECT_THROW(b.take(42), PreconditionError);
 }
 
 TEST(Buffer, ArrivalOrderPreserved) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   b.try_insert(msg(3, 100));
   b.try_insert(msg(1, 100));
   b.try_insert(msg(2, 100));
@@ -95,7 +105,8 @@ TEST(Buffer, ArrivalOrderPreserved) {
 }
 
 TEST(Buffer, PurgeExpiredRemovesOnlyExpired) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   b.try_insert(msg(1, 100, 0.0, 50.0));   // expires at 50
   b.try_insert(msg(2, 100, 0.0, 200.0));  // expires at 200
   const auto removed = b.purge_expired(100.0, {});
@@ -106,7 +117,8 @@ TEST(Buffer, PurgeExpiredRemovesOnlyExpired) {
 }
 
 TEST(Buffer, PurgeSkipsPinned) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   b.try_insert(msg(1, 100, 0.0, 50.0));
   const auto removed = b.purge_expired(100.0, {1});
   EXPECT_TRUE(removed.empty());
@@ -114,7 +126,8 @@ TEST(Buffer, PurgeSkipsPinned) {
 }
 
 TEST(Buffer, PurgeAtExactExpiryRemoves) {
-  Buffer b(1000);
+  MessageArena arena;
+  Buffer b(1000, arena);
   b.try_insert(msg(1, 100, 0.0, 50.0));
   const auto removed = b.purge_expired(50.0, {});
   EXPECT_EQ(removed.size(), 1u);

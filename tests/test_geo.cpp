@@ -240,5 +240,156 @@ TEST(SpatialGrid, RebuildReusesCapacityAcrossFrames) {
                                                                 {2, 3}}));
 }
 
+// --- hierarchical layout (DESIGN.md §14) ----------------------------------
+
+TEST(SpatialGridHierarchy, CompactCloudsUseTheHierarchicalLayout) {
+  Rng rng(14);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 50; ++i) {
+    pos.push_back({rng.uniform(0, 2000), rng.uniform(0, 2000)});
+  }
+  SpatialGrid grid(100.0);
+  grid.rebuild(pos);
+  EXPECT_TRUE(grid.hierarchical());
+  grid.rebuild({});  // empty fleet degrades gracefully
+  EXPECT_FALSE(grid.hierarchical());
+  int pairs = 0;
+  grid.for_each_pair_within(100.0, [&](std::size_t, std::size_t) { ++pairs; });
+  EXPECT_EQ(pairs, 0);
+}
+
+TEST(SpatialGridHierarchy, FlatFallbackBeyondCoarseBudgetMatchesBruteForce) {
+  // Two clusters ~2e8 cells apart: a dense coarse directory over the
+  // bounding box would need far more than kMaxCoarseCells tiles, so the
+  // rebuild must fall back to the flat layout — and still enumerate the
+  // same pairs.
+  std::vector<Vec2> pos = {{0, 0},         {0.5, 0.3},       {1.2, 0.0},
+                           {2.0e8, 5.0},   {2.0e8 + 0.8, 5.2}};
+  SpatialGrid grid(1.0);
+  grid.rebuild(pos);
+  EXPECT_FALSE(grid.hierarchical());
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  grid.for_each_pair_within(1.0, [&](std::size_t i, std::size_t j) {
+    from_grid.emplace(i, j);
+  });
+  EXPECT_EQ(from_grid, brute_pairs(pos, 1.0));
+}
+
+TEST(SpatialGridHierarchy, BoundaryLatticeAcrossCoarseTileEdges) {
+  // Nodes on exact fine-cell corners spanning several 8x8 coarse tiles,
+  // straddling the tile seam at cell index 8 and the negative seam at 0:
+  // the dense directory lookup and the in-tile binary search must agree
+  // with brute force on every exactly-at-radius pair.
+  const double cell = 10.0;
+  std::vector<Vec2> pos;
+  for (int x = -10; x <= 10; ++x) {
+    for (int y = 6; y <= 10; ++y) pos.push_back({x * cell, y * cell});
+  }
+  SpatialGrid grid(cell);
+  grid.rebuild(pos);
+  EXPECT_TRUE(grid.hierarchical());
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  grid.for_each_pair_within(cell, [&](std::size_t i, std::size_t j) {
+    from_grid.emplace(i, j);
+    order.emplace_back(i, j);
+  });
+  EXPECT_EQ(from_grid, brute_pairs(pos, cell));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(SpatialGridHierarchy, NegativeQuadrantsMatchBruteForce) {
+  Rng rng(15);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 180; ++i) {
+    pos.push_back({rng.uniform(-900, 100), rng.uniform(-100, 900)});
+  }
+  const double radius = 40.0;
+  SpatialGrid grid(radius);
+  grid.rebuild(pos);
+  EXPECT_TRUE(grid.hierarchical());
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j) {
+    from_grid.emplace(i, j);
+  });
+  EXPECT_EQ(from_grid, brute_pairs(pos, radius));
+}
+
+TEST(SpatialGridHierarchy, SkewedDenseClusterMatchesBruteForce) {
+  // Pathological occupancy for a bucketed index: 300 nodes piled into a
+  // couple of fine cells (some sharing exact positions) plus a sparse
+  // fringe across other coarse tiles.
+  Rng rng(16);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 300; ++i) {
+    pos.push_back({rng.uniform(0, 30), rng.uniform(0, 30)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    pos.push_back({rng.uniform(-2000, 2000), rng.uniform(-2000, 2000)});
+  }
+  pos.push_back(pos[0]);  // exact duplicate position
+  const double radius = 25.0;
+  SpatialGrid grid(radius);
+  grid.rebuild(pos);
+  EXPECT_TRUE(grid.hierarchical());
+  std::set<std::pair<std::size_t, std::size_t>> from_grid;
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j) {
+    from_grid.emplace(i, j);
+    order.emplace_back(i, j);
+  });
+  EXPECT_EQ(from_grid, brute_pairs(pos, radius));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(SpatialGridHierarchy, QueryReachesAcrossTiles) {
+  // query() may use radii above the cell size (multi-ring reach); rings
+  // that cross coarse-tile seams must resolve through the directory.
+  const double cell = 10.0;
+  std::vector<Vec2> pos;
+  for (int x = 0; x <= 20; ++x) pos.push_back({x * cell, 0.0});
+  SpatialGrid grid(cell);
+  grid.rebuild(pos);
+  ASSERT_TRUE(grid.hierarchical());
+  const auto near = grid.query({100.0, 0.0}, 35.0, /*exclude=*/10);
+  EXPECT_EQ(near, (std::vector<std::size_t>{7, 8, 9, 11, 12, 13}));
+}
+
+TEST(SpatialGridHierarchy, ShardedCollectConcatenationMatchesFullRange) {
+  Rng rng(17);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 250; ++i) {
+    pos.push_back({rng.uniform(-400, 400), rng.uniform(-400, 400)});
+  }
+  const double radius = 55.0;
+  SpatialGrid grid(radius);
+  grid.rebuild(pos);
+  std::vector<SpatialGrid::PairHit> full;
+  grid.collect_pairs_within(radius, 0, pos.size(), full);
+  std::vector<SpatialGrid::PairHit> sharded;
+  for (std::size_t lo = 0; lo < pos.size(); lo += 61) {
+    grid.collect_pairs_within(radius, lo, std::min(lo + 61, pos.size()),
+                              sharded);
+  }
+  ASSERT_EQ(sharded.size(), full.size());
+  for (std::size_t k = 0; k < full.size(); ++k) {
+    EXPECT_EQ(sharded[k].i, full[k].i);
+    EXPECT_EQ(sharded[k].j, full[k].j);
+    EXPECT_DOUBLE_EQ(sharded[k].d2, full[k].d2);
+  }
+}
+
+TEST(SpatialGridHierarchy, ReserveThenRebuildKeepsResults) {
+  SpatialGrid grid(20.0);
+  grid.reserve_nodes(64);
+  std::vector<Vec2> pos = {{0, 0}, {10, 0}, {0, 15}, {300, 300}};
+  grid.rebuild(pos);
+  std::set<std::pair<std::size_t, std::size_t>> got;
+  grid.for_each_pair_within(20.0, [&](std::size_t i, std::size_t j) {
+    got.emplace(i, j);
+  });
+  EXPECT_EQ(got, brute_pairs(pos, 20.0));
+}
+
 }  // namespace
 }  // namespace dtn

@@ -21,6 +21,7 @@
 #include "src/buffer/fifo.hpp"
 #include "src/config/scenario.hpp"
 #include "src/core/world.hpp"
+#include "src/mobility/random_walk.hpp"
 #include "src/mobility/stationary.hpp"
 #include "src/net/contact_tracker.hpp"
 #include "src/routing/spray_and_wait.hpp"
@@ -338,6 +339,51 @@ TEST(ParallelScratch, SteadyStateStepLoopDoesNotAllocate) {
   w->run_until(150.0);
   const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);
+#endif  // DTN_NO_ALLOC_COUNTER
+}
+
+TEST(ParallelScratch, HierarchicalGridRebuildsDoNotAllocateInSteadyState) {
+#ifdef DTN_NO_ALLOC_COUNTER
+  GTEST_SKIP() << "allocation counter disabled under AddressSanitizer";
+#else
+  // The stationary variant above never re-buckets the grid after warmup
+  // (the kinetic budget is never spent). This one keeps the fleet moving
+  // so full grid passes — the hierarchical counting-sort rebuild included
+  // — keep running inside the measured window. Movers are confined to
+  // small boxes far apart (no contacts ever form, so no Message churn),
+  // and two stationary sentinels pin the corners of the coarse-tile
+  // bounding box so the dense directory never has to grow mid-window.
+  WorldConfig cfg;
+  cfg.step = 1.0;
+  cfg.duration = 1000.0;
+  cfg.range = 10.0;
+  cfg.bandwidth = 100.0;
+  cfg.priority_cache = false;
+  cfg.occupancy_sample_interval = 1e9;
+  auto w = std::make_unique<World>(cfg);
+  w->set_router(std::make_unique<SprayAndWaitRouter>());
+  w->set_policy(std::make_unique<FifoPolicy>());
+  for (int i = 0; i < 16; ++i) {
+    RandomWalkConfig wc;
+    wc.area = Rect({i * 600.0, 0.0}, {i * 600.0 + 50.0, 50.0});
+    wc.v_min = wc.v_max = 5.0;
+    wc.epoch = 7.0;
+    w->add_node(std::make_unique<RandomWalkModel>(wc, Rng(1000 + i)), 10000);
+  }
+  w->add_node(std::make_unique<StationaryModel>(Vec2{-60.0, -60.0}), 10000);
+  w->add_node(std::make_unique<StationaryModel>(Vec2{9600.0, 120.0}), 10000);
+
+  w->run_until(200.0);  // warm scratch; movers have bounced off every wall
+  ASSERT_TRUE(w->contacts().grid().hierarchical());
+  const std::size_t passes_before = w->contacts().full_pass_count();
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  w->run_until(400.0);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  // The window must actually have exercised the rebuild path.
+  EXPECT_GT(w->contacts().full_pass_count(), passes_before);
+  EXPECT_TRUE(w->contacts().grid().hierarchical());
+  EXPECT_TRUE(w->contacts().current().empty());
 #endif  // DTN_NO_ALLOC_COUNTER
 }
 

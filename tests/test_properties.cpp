@@ -227,8 +227,9 @@ TEST_P(BufferModelFuzz, AdmissionAgreesWithNaiveModel) {
     auto policy = make_policy(sc, seed);
     SprayAndWaitRouter router;
     constexpr std::int64_t kCapacity = 3'000'000;
+    MessageArena arena;
     Node node(0, std::make_unique<StationaryModel>(Vec2{0.0, 0.0}), kCapacity,
-              &router, policy.get(), {});
+              &router, policy.get(), arena);
 
     struct Entry {
       std::int64_t size = 0;

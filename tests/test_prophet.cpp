@@ -29,7 +29,7 @@ class ProphetTest : public ::testing::Test {
 
   Node make_node(NodeId id) {
     return Node(id, std::make_unique<StationaryModel>(Vec2{0, 0}), 100000,
-                &router_, policy_.get(), {});
+                &router_, policy_.get(), arena_);
   }
 
   PolicyContext ctx(const Node& n, SimTime now) {
@@ -40,6 +40,7 @@ class ProphetTest : public ::testing::Test {
     return c;
   }
 
+  MessageArena arena_;
   ProphetRouter router_;
   std::unique_ptr<FifoPolicy> policy_;
 };
