@@ -1,68 +1,31 @@
-#include "src/buffer/fifo.hpp"
-#include "src/buffer/gbsd_policy.hpp"
-#include "src/buffer/knapsack_policy.hpp"
-#include "src/buffer/random_policy.hpp"
-#include "src/buffer/sdsrp_policy.hpp"
-#include "src/buffer/simple_policies.hpp"
 #include "src/config/scenario.hpp"
 #include "src/mobility/stationary.hpp"
-#include "src/routing/direct_delivery.hpp"
-#include "src/routing/epidemic.hpp"
-#include "src/routing/first_contact.hpp"
-#include "src/routing/prophet.hpp"
-#include "src/routing/spray_and_focus.hpp"
+#include "src/pipeline/compile.hpp"
+#include "src/pipeline/elements.hpp"
+#include "src/pipeline/parser.hpp"
 #include "src/routing/spray_and_wait.hpp"
 #include "src/util/error.hpp"
 
 namespace dtn {
 
+namespace {
+
+SdsrpParams sdsrp_params(const Scenario& sc) {
+  return SdsrpParams{sc.sdsrp_taylor_terms, sc.sdsrp_anchor_last_spray,
+                     sc.sdsrp_reject_newcomer, sc.sdsrp_reject_dropped};
+}
+
+}  // namespace
+
 std::unique_ptr<Router> make_router(const Scenario& sc) {
-  const std::string& name = sc.router;
-  if (name == "spray-and-wait") {
-    return std::make_unique<SprayAndWaitRouter>(SprayAndWaitConfig{
-        /*binary=*/true, sc.precheck_admission, sc.presplit_admission_view});
-  }
-  if (name == "spray-and-wait-source") {
-    return std::make_unique<SprayAndWaitRouter>(SprayAndWaitConfig{
-        /*binary=*/false, sc.precheck_admission, sc.presplit_admission_view});
-  }
-  if (name == "epidemic") return std::make_unique<EpidemicRouter>();
-  if (name == "direct-delivery") {
-    return std::make_unique<DirectDeliveryRouter>();
-  }
-  if (name == "first-contact") return std::make_unique<FirstContactRouter>();
-  if (name == "spray-and-focus") {
-    return std::make_unique<SprayAndFocusRouter>();
-  }
-  if (name == "prophet") return std::make_unique<ProphetRouter>();
-  DTN_REQUIRE(false, "unknown router: " + name);
-  return nullptr;
+  return pipeline::make_router_by_name(
+      sc.router, SprayAndWaitConfig{/*binary=*/true, sc.precheck_admission,
+                                    sc.presplit_admission_view});
 }
 
 std::unique_ptr<BufferPolicy> make_policy(const Scenario& sc,
                                           std::uint64_t seed) {
-  const std::string& name = sc.policy;
-  const SdsrpParams params{sc.sdsrp_taylor_terms, sc.sdsrp_anchor_last_spray,
-                           sc.sdsrp_reject_newcomer, sc.sdsrp_reject_dropped};
-  if (name == "fifo") return std::make_unique<FifoPolicy>();
-  if (name == "drop-tail") return std::make_unique<DropTailPolicy>();
-  if (name == "drop-largest") return std::make_unique<DropLargestPolicy>();
-  if (name == "lifo") return std::make_unique<LifoPolicy>();
-  if (name == "random") return std::make_unique<RandomPolicy>(seed);
-  if (name == "ttl-ratio") return std::make_unique<TtlRatioPolicy>();
-  if (name == "copies-ratio") return std::make_unique<CopiesRatioPolicy>();
-  if (name == "mofo") return std::make_unique<MofoPolicy>();
-  if (name == "sdsrp") return std::make_unique<SdsrpPolicy>(params);
-  if (name == "knapsack-sdsrp") {
-    return std::make_unique<KnapsackSdsrpPolicy>(params);
-  }
-  if (name == "sdsrp-oracle") {
-    return std::make_unique<SdsrpOraclePolicy>(params);
-  }
-  if (name == "gbsd") return std::make_unique<GbsdPolicy>();
-  if (name == "gbsd-delay") return std::make_unique<GbsdDelayPolicy>();
-  DTN_REQUIRE(false, "unknown buffer policy: " + name);
-  return nullptr;
+  return pipeline::make_policy_by_name(sc.policy, sdsrp_params(sc), seed);
 }
 
 MobilityPtr make_mobility(const Scenario& sc, Rng rng,
@@ -89,15 +52,37 @@ MobilityPtr make_mobility(const Scenario& sc, Rng rng,
 std::unique_ptr<World> build_world(const Scenario& sc) {
   DTN_REQUIRE(sc.n_nodes >= 2, "scenario: need at least two nodes");
   auto world = std::make_unique<World>(sc.world);
-  world->set_router(make_router(sc));
 
+  // The master fork order below (policy 0xB0, mobility i+1, traffic
+  // 0xA11CE, fault 0xFA00FA) is shared by both build paths, so a
+  // pipeline build of a closed-class policy consumes the exact same
+  // random streams as its legacy `Policy.name` build — the golden
+  // digest-identity tests pin this.
   Rng master(sc.seed);
-  world->set_policy(make_policy(sc, master.fork(0xB0).next_u64()));
+  const std::uint64_t policy_seed = master.fork(0xB0).next_u64();
+  MessageGenConfig traffic = sc.traffic;
+  if (sc.pipeline.empty()) {
+    world->set_router(make_router(sc));
+    world->set_policy(make_policy(sc, policy_seed));
+  } else {
+    const pipeline::Graph graph = pipeline::parse(sc.pipeline);
+    pipeline::CompileOptions opts;
+    opts.sdsrp = sdsrp_params(sc);
+    opts.precheck_admission = sc.precheck_admission;
+    opts.presplit_admission_view = sc.presplit_admission_view;
+    opts.policy_seed = policy_seed;
+    pipeline::Compiled compiled = pipeline::compile(graph, opts);
+    world->set_router(std::move(compiled.router));
+    world->set_policy(std::move(compiled.policy));
+    if (compiled.initial_copies.has_value()) {
+      traffic.initial_copies = *compiled.initial_copies;
+    }
+  }
   for (std::size_t i = 0; i < sc.n_nodes; ++i) {
     world->add_node(make_mobility(sc, master.fork(i + 1), i),
                     sc.buffer_capacity, sc.estimator);
   }
-  world->enable_traffic(sc.traffic, master.fork(0xA11CE).next_u64());
+  world->enable_traffic(traffic, master.fork(0xA11CE).next_u64());
   // The fault stream forks with a tag no other consumer uses (0xB0,
   // node index + 1, 0xA11CE above; this one sits far above any node
   // count), so toggling faults never perturbs policy, mobility or

@@ -1,5 +1,6 @@
 #include "src/config/scenario.hpp"
 
+#include "src/pipeline/parser.hpp"
 #include "src/util/units.hpp"
 
 namespace dtn {
@@ -90,6 +91,7 @@ Settings Scenario::to_settings() const {
   put_d("Fault.degradeBitrateFactor", fault.degrade_bitrate_factor);
   s.set("Router.name", router);
   s.set("Policy.name", policy);
+  if (!pipeline.empty()) s.set("Pipeline.spec", pipeline);
   put_i("Policy.sdsrpTaylorTerms",
         static_cast<std::int64_t>(sdsrp_taylor_terms));
   s.set("Policy.sdsrpAnchorLastSpray",
@@ -176,6 +178,10 @@ Scenario Scenario::from_settings(const Settings& s) {
   sc.fault.validate();
   sc.router = s.get_string_or("Router.name", sc.router);
   sc.policy = s.get_string_or("Policy.name", sc.policy);
+  sc.pipeline = s.get_string_or("Pipeline.spec", sc.pipeline);
+  // Eager validation: a malformed pipeline fails at load time with a
+  // position-bearing diagnostic, not at build_world inside a sweep.
+  if (!sc.pipeline.empty()) (void)dtn::pipeline::parse(sc.pipeline);
   sc.sdsrp_taylor_terms = static_cast<std::size_t>(s.get_int_or(
       "Policy.sdsrpTaylorTerms",
       static_cast<std::int64_t>(sc.sdsrp_taylor_terms)));

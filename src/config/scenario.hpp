@@ -45,6 +45,13 @@ struct Scenario {
   /// copies-ratio | mofo | sdsrp | sdsrp-oracle | gbsd.
   std::string policy = "sdsrp";
 
+  /// Click-style element graph (`Pipeline.spec`, DESIGN.md §15), e.g.
+  ///   SprayAndWait(copies 16) -> PriorityQueue(sdsrp) -> DropTail(lowest)
+  /// Empty = the legacy router/policy names above. When set, the pipeline
+  /// supersedes `router` and `policy` (and `Traffic.copies` when the
+  /// routing element carries a `copies` argument).
+  std::string pipeline;
+
   /// Fault injection (`Fault.*` keys); inert by default.
   FaultConfig fault;
 

@@ -1,0 +1,135 @@
+#include "src/pipeline/compile.hpp"
+
+#include "src/pipeline/composite_policy.hpp"
+#include "src/pipeline/congestion_gate.hpp"
+#include "src/pipeline/elements.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace dtn::pipeline {
+
+namespace {
+
+/// Element class name -> legacy Router.name. SprayAndWait resolves its
+/// binary/source split through the `binary` argument.
+std::string router_legacy_name(const ParsedElement& e) {
+  const std::string cls = e.cls->name;
+  if (cls == "SprayAndWait") {
+    return e.arg_bool("binary", true) ? "spray-and-wait"
+                                      : "spray-and-wait-source";
+  }
+  if (cls == "Epidemic") return "epidemic";
+  if (cls == "DirectDelivery") return "direct-delivery";
+  if (cls == "FirstContact") return "first-contact";
+  if (cls == "SprayAndFocus") return "spray-and-focus";
+  if (cls == "Prophet") return "prophet";
+  throw PipelineError(e.pos, std::string("unsupported routing element ") +
+                                 e.cls->name);
+}
+
+/// The closed-class policy a drop element behaves as when composed
+/// generically (DropTail(lowest) never reaches here — it always flattens
+/// to the queue scalar).
+std::unique_ptr<BufferPolicy> drop_sub_policy(const ParsedElement& drop,
+                                              const SdsrpParams& params,
+                                              std::uint64_t seed) {
+  const std::string cls = drop.cls->name;
+  if (cls == "DropHead") return make_policy_by_name("fifo", params, seed);
+  if (cls == "DropLargest") {
+    return make_policy_by_name("drop-largest", params, seed);
+  }
+  if (cls == "DropRandom") {
+    // A fork tag no legacy consumer uses, so a composite's drop stream
+    // never aliases the scheduling policy's stream.
+    return make_policy_by_name("random", params,
+                               Rng(seed).fork(0xD0).next_u64());
+  }
+  if (cls == "DropTail") {  // mode == reject (lowest is flattened away)
+    return make_policy_by_name("drop-tail", params, seed);
+  }
+  throw PipelineError(drop.pos, std::string("unsupported drop element ") +
+                                    drop.cls->name);
+}
+
+}  // namespace
+
+Compiled compile(const Graph& g, const CompileOptions& opts) {
+  Compiled out;
+
+  // --- router head ---
+  const ParsedElement& r = g.router();
+  out.router_equiv = router_legacy_name(r);
+  SprayAndWaitConfig sw;
+  sw.precheck_admission = r.arg_bool("precheck", opts.precheck_admission);
+  sw.presplit_admission_view =
+      r.arg_bool("presplit", opts.presplit_admission_view);
+  out.router = make_router_by_name(out.router_equiv, sw);
+  if (r.has_arg("copies")) {
+    const std::int64_t copies = r.arg_int("copies", 0);
+    if (copies < 1) {
+      throw PipelineError(r.pos, "SprayAndWait copies must be >= 1, got " +
+                                     std::to_string(copies));
+    }
+    out.initial_copies = static_cast<int>(copies);
+  }
+
+  // --- queue + drop tail -> buffer policy ---
+  const ParsedElement* queue = nullptr;
+  for (std::size_t i : g.chain) {
+    if (g.elements[i].cls->kind == ElementKind::kQueue) queue = &g.elements[i];
+  }
+  DTN_REQUIRE(queue != nullptr, "validated graph lost its queue");
+  const ParsedElement& drop = g.drop();
+  const std::string scalar = queue->arg_string("scalar");
+  const std::string drop_cls = drop.cls->name;
+  const bool drop_lowest =
+      drop_cls == "DropTail" && drop.arg_string("mode") == "lowest";
+
+  std::string flat;  // legacy Policy.name, empty when non-canonical
+  if (drop_lowest) {
+    if (scalar == "random") {
+      throw PipelineError(
+          drop.pos, "DropTail(lowest) needs a priority ordering, and "
+                    "PriorityQueue(random) has none — use DropRandom");
+    }
+    flat = scalar;  // lowest-priority drop IS the scalar's closed class
+  } else if (scalar == "fifo" && drop_cls == "DropHead") {
+    flat = "fifo";
+  } else if (scalar == "fifo" && drop_cls == "DropTail") {
+    flat = "drop-tail";  // mode == reject
+  } else if (scalar == "fifo" && drop_cls == "DropLargest") {
+    flat = "drop-largest";
+  } else if (scalar == "random" && drop_cls == "DropRandom") {
+    flat = "random";
+  }
+
+  if (!flat.empty()) {
+    out.policy = make_policy_by_name(flat, opts.sdsrp, opts.policy_seed);
+    out.flattened = true;
+    out.policy_equiv = flat;
+  } else {
+    auto sched = make_policy_by_name(scalar, opts.sdsrp, opts.policy_seed);
+    auto dropper = drop_sub_policy(drop, opts.sdsrp, opts.policy_seed);
+    std::string name = "pipeline(" + scalar + "+" + dropper->name() + ")";
+    out.policy = std::make_unique<CompositePolicy>(
+        std::move(name), std::move(sched), std::move(dropper));
+  }
+
+  // --- filters wrap the router, chain order innermost-first ---
+  for (std::size_t i : g.chain) {
+    const ParsedElement& e = g.elements[i];
+    if (e.cls->kind != ElementKind::kFilter) continue;
+    if (std::string(e.cls->name) == "CongestionGate") {
+      const double threshold = e.arg_double("threshold", 0.9);
+      if (threshold <= 0.0) {
+        throw PipelineError(e.pos, "CongestionGate threshold must be > 0");
+      }
+      out.router =
+          std::make_unique<GatedRouter>(std::move(out.router), threshold);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace dtn::pipeline

@@ -1,0 +1,61 @@
+// Pipeline compiler: flattens a validated element graph onto the
+// existing World hot loop. Canonical (queue scalar, drop element) pairs
+// compile to the *legacy closed-class policy objects themselves* — no
+// wrapper, no added dispatch on the per-message fast path, digest
+// identity with `Policy.name` builds by construction. Non-canonical
+// pairs compile to a CompositePolicy; CongestionGate filters wrap the
+// router in a GatedRouter decorator (one extra virtual hop per contact
+// attempt, zero per message).
+//
+// Canonical pairs (flattened == true, policy_equiv == legacy name):
+//   PriorityQueue(S)      -> DropTail(lowest)  ==  S          (any scalar
+//                            with a priority ordering; fifo's "lowest" is
+//                            the oldest arrival)
+//   PriorityQueue(fifo)   -> DropHead          ==  fifo
+//   PriorityQueue(fifo)   -> DropTail(reject)  ==  drop-tail
+//   PriorityQueue(fifo)   -> DropLargest       ==  drop-largest
+//   PriorityQueue(random) -> DropRandom        ==  random
+// `PriorityQueue(random) -> DropTail(lowest)` is rejected: a random
+// ordering has no "lowest" — say DropRandom.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/buffer/sdsrp_policy.hpp"
+#include "src/core/buffer_policy.hpp"
+#include "src/core/router.hpp"
+#include "src/pipeline/parser.hpp"
+#include "src/routing/spray_and_wait.hpp"
+
+namespace dtn::pipeline {
+
+/// Scenario-level knobs the pipeline text does not carry per element;
+/// element arguments (`precheck false`) override them.
+struct CompileOptions {
+  SdsrpParams sdsrp;
+  bool precheck_admission = true;
+  bool presplit_admission_view = false;
+  /// Seed for stochastic policies, forked from the scenario master
+  /// exactly as the legacy path does (factory.cpp tag 0xB0).
+  std::uint64_t policy_seed = 0;
+};
+
+struct Compiled {
+  std::unique_ptr<Router> router;
+  std::unique_ptr<BufferPolicy> policy;
+  /// SprayAndWait(copies N) — overrides Traffic.copies when set.
+  std::optional<int> initial_copies;
+  bool flattened = false;     ///< policy is a legacy closed class
+  std::string policy_equiv;   ///< legacy Policy.name when flattened
+  std::string router_equiv;   ///< legacy Router.name
+};
+
+/// Compiles a validated graph. Throws PipelineError (with the offending
+/// element's position) on semantic problems the parser cannot see, e.g.
+/// `copies 0` or a lowest-priority drop under a random ordering.
+Compiled compile(const Graph& g, const CompileOptions& opts);
+
+}  // namespace dtn::pipeline

@@ -1,0 +1,63 @@
+#include "src/pipeline/composite_policy.hpp"
+
+#include "src/snapshot/archive.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn::pipeline {
+
+CompositePolicy::CompositePolicy(std::string name,
+                                 std::unique_ptr<BufferPolicy> sched,
+                                 std::unique_ptr<BufferPolicy> drop)
+    : name_(std::move(name)), sched_(std::move(sched)), drop_(std::move(drop)) {
+  DTN_REQUIRE(sched_ != nullptr && drop_ != nullptr,
+              "composite policy needs both sub-policies");
+}
+
+void CompositePolicy::order_for_sending(std::vector<const Message*>& msgs,
+                                        const PolicyContext& ctx) const {
+  sched_->order_for_sending(msgs, uncached(ctx));
+}
+
+const Message* CompositePolicy::choose_drop(
+    const std::vector<const Message*>& droppable, const Message* newcomer,
+    const PolicyContext& ctx) const {
+  return drop_->choose_drop(droppable, newcomer, uncached(ctx));
+}
+
+bool CompositePolicy::uses_dropped_list() const {
+  return sched_->uses_dropped_list() || drop_->uses_dropped_list();
+}
+
+bool CompositePolicy::rejects_previously_dropped() const {
+  return sched_->rejects_previously_dropped() ||
+         drop_->rejects_previously_dropped();
+}
+
+void CompositePolicy::save_state(snapshot::ArchiveWriter& out) const {
+  out.begin_section("pipeline-policy");
+  out.u32(2);
+  out.str(sched_->name());
+  sched_->save_state(out);
+  out.str(drop_->name());
+  drop_->save_state(out);
+  out.end_section();
+}
+
+void CompositePolicy::load_state(snapshot::ArchiveReader& in) {
+  in.begin_section("pipeline-policy");
+  const std::uint32_t n = in.u32();
+  DTN_REQUIRE(n == 2, "pipeline-policy: unexpected element count");
+  const std::string sched_name = in.str();
+  DTN_REQUIRE(sched_name == sched_->name(),
+              "pipeline-policy: scheduling element mismatch: archive has " +
+                  sched_name + ", pipeline built " + sched_->name());
+  sched_->load_state(in);
+  const std::string drop_name = in.str();
+  DTN_REQUIRE(drop_name == drop_->name(),
+              "pipeline-policy: drop element mismatch: archive has " +
+                  drop_name + ", pipeline built " + drop_->name());
+  drop_->load_state(in);
+  in.end_section();
+}
+
+}  // namespace dtn::pipeline

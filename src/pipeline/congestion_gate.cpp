@@ -1,0 +1,28 @@
+#include "src/pipeline/congestion_gate.hpp"
+
+#include "src/core/node.hpp"
+#include "src/routing/routing_common.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn::pipeline {
+
+GatedRouter::GatedRouter(std::unique_ptr<Router> inner, double threshold)
+    : inner_(std::move(inner)), threshold_(threshold) {
+  DTN_REQUIRE(inner_ != nullptr, "congestion gate needs an inner router");
+  DTN_REQUIRE(threshold_ > 0.0, "congestion gate threshold must be > 0");
+  name_ = std::string("congestion-gate(") + inner_->name() + ")";
+}
+
+std::optional<MessageId> GatedRouter::next_to_send(
+    const Node& self, const Node& peer, const PolicyContext& ctx) const {
+  if (peer.buffer().occupancy() >= threshold_) {
+    // Congested receiver: replication is suppressed; deliveries are
+    // consumed on arrival (never buffered), so they always pass.
+    const auto deliverable = routing::deliverable_messages(self, peer, ctx);
+    if (!deliverable.empty()) return deliverable.front()->id;
+    return std::nullopt;
+  }
+  return inner_->next_to_send(self, peer, ctx);
+}
+
+}  // namespace dtn::pipeline

@@ -1,0 +1,68 @@
+#include "src/pipeline/element.hpp"
+
+namespace dtn::pipeline {
+
+namespace {
+
+const char* const kQueueScalars[] = {
+    "fifo",         "lifo",       "random",        "ttl-ratio",
+    "copies-ratio", "mofo",       "sdsrp",         "sdsrp-oracle",
+    "gbsd",         "gbsd-delay", "knapsack-sdsrp", nullptr};
+
+const char* const kDropTailModes[] = {"lowest", "reject", nullptr};
+
+const char* const kBools[] = {"true", "false", nullptr};
+
+std::vector<ElementClassSpec> build_registry() {
+  std::vector<ElementClassSpec> reg;
+  // --- routing elements (heads) ---
+  reg.push_back({"SprayAndWait",
+                 ElementKind::kRouter,
+                 {},
+                 {{"copies", ParamType::kInt},
+                  {"binary", ParamType::kBool, kBools},
+                  {"precheck", ParamType::kBool, kBools},
+                  {"presplit", ParamType::kBool, kBools}}});
+  reg.push_back({"Epidemic", ElementKind::kRouter, {}, {}});
+  reg.push_back({"DirectDelivery", ElementKind::kRouter, {}, {}});
+  reg.push_back({"FirstContact", ElementKind::kRouter, {}, {}});
+  reg.push_back({"SprayAndFocus", ElementKind::kRouter, {}, {}});
+  reg.push_back({"Prophet", ElementKind::kRouter, {}, {}});
+  // --- filter elements (between router and queue) ---
+  reg.push_back({"CongestionGate",
+                 ElementKind::kFilter,
+                 {},
+                 {{"threshold", ParamType::kDouble}}});
+  // --- scheduling queue ---
+  reg.push_back({"PriorityQueue",
+                 ElementKind::kQueue,
+                 {{"scalar", ParamType::kEnum, kQueueScalars}},
+                 {}});
+  // --- drop elements (tails) ---
+  reg.push_back({"DropTail",
+                 ElementKind::kDrop,
+                 {{"mode", ParamType::kEnum, kDropTailModes}},
+                 {}});
+  reg.push_back({"DropHead", ElementKind::kDrop, {}, {}});
+  reg.push_back({"DropRandom", ElementKind::kDrop, {}, {}});
+  reg.push_back({"DropLargest", ElementKind::kDrop, {}, {}});
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<ElementClassSpec>& element_classes() {
+  static const std::vector<ElementClassSpec> kRegistry = build_registry();
+  return kRegistry;
+}
+
+const ElementClassSpec* find_element_class(const std::string& name) {
+  for (const ElementClassSpec& spec : element_classes()) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+const char* const* queue_scalar_names() { return kQueueScalars; }
+
+}  // namespace dtn::pipeline

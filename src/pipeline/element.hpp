@@ -1,0 +1,80 @@
+// Element model for the Click-style composable routing/buffer pipeline
+// (DESIGN.md §15, after kohler/click): a pipeline is a linear graph of
+// *elements* — a routing element feeding optional filter elements feeding
+// a scheduling queue feeding a drop element — declared from scenario text
+// (`Pipeline.spec`) and flattened at build time onto the existing World
+// hot loop. Each element class carries a typed argument schema and port
+// counts; the parser validates both with position-bearing diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dtn::pipeline {
+
+/// 1-based position of a token inside the pipeline text ('\n' and ';'
+/// both end a statement, so multi-line Click-style specs report real
+/// line numbers while one-line scenario values report columns).
+struct SourcePos {
+  int line = 1;
+  int col = 1;
+};
+
+/// Parse/validation failure. `what()` is prefixed "pipeline:LINE:COL:"
+/// so scenario loaders surface the exact offending token.
+class PipelineError : public std::runtime_error {
+ public:
+  PipelineError(SourcePos pos, const std::string& message)
+      : std::runtime_error("pipeline:" + std::to_string(pos.line) + ":" +
+                           std::to_string(pos.col) + ": " + message),
+        pos_(pos) {}
+  SourcePos pos() const { return pos_; }
+
+ private:
+  SourcePos pos_;
+};
+
+/// Where an element may sit in the chain. Ports follow from the kind:
+/// routers source the chain (0 in / 1 out), filters and queues pass
+/// through (1 in / 1 out), drops terminate it (1 in / 0 out).
+enum class ElementKind { kRouter, kFilter, kQueue, kDrop };
+
+enum class ParamType { kInt, kDouble, kBool, kEnum };
+
+/// One named argument an element class accepts, e.g. SprayAndWait's
+/// `copies` or CongestionGate's `threshold`.
+struct ParamSpec {
+  const char* name;
+  ParamType type;
+  /// For kEnum: the accepted values, nullptr-terminated.
+  const char* const* enum_values = nullptr;
+};
+
+/// Static description of one element class (the registry below).
+struct ElementClassSpec {
+  const char* name;  ///< CamelCase class name used in pipeline text
+  ElementKind kind;
+  /// Positional arguments, in order; all are required. Keyword arguments
+  /// (`copies 16`) are optional and may come in any order after them.
+  std::vector<ParamSpec> positional;
+  std::vector<ParamSpec> keyword;
+
+  bool has_input() const { return kind != ElementKind::kRouter; }
+  bool has_output() const { return kind != ElementKind::kDrop; }
+};
+
+/// All known element classes. The table is the single source of truth
+/// for the parser's arity/typing diagnostics.
+const std::vector<ElementClassSpec>& element_classes();
+
+/// Registry lookup; nullptr when `name` is not an element class.
+const ElementClassSpec* find_element_class(const std::string& name);
+
+/// The scalar names `PriorityQueue` accepts — exactly the closed-class
+/// buffer-policy names of config/factory.cpp, so every legacy
+/// `Policy.name` is expressible as a queue element.
+const char* const* queue_scalar_names();
+
+}  // namespace dtn::pipeline

@@ -1,0 +1,66 @@
+#include "src/pipeline/elements.hpp"
+
+#include "src/buffer/fifo.hpp"
+#include "src/buffer/gbsd_policy.hpp"
+#include "src/buffer/knapsack_policy.hpp"
+#include "src/buffer/random_policy.hpp"
+#include "src/buffer/simple_policies.hpp"
+#include "src/routing/direct_delivery.hpp"
+#include "src/routing/epidemic.hpp"
+#include "src/routing/first_contact.hpp"
+#include "src/routing/prophet.hpp"
+#include "src/routing/spray_and_focus.hpp"
+#include "src/util/error.hpp"
+
+namespace dtn::pipeline {
+
+std::unique_ptr<Router> make_router_by_name(const std::string& name,
+                                            const SprayAndWaitConfig& sw) {
+  if (name == "spray-and-wait") {
+    SprayAndWaitConfig cfg = sw;
+    cfg.binary = true;
+    return std::make_unique<SprayAndWaitRouter>(cfg);
+  }
+  if (name == "spray-and-wait-source") {
+    SprayAndWaitConfig cfg = sw;
+    cfg.binary = false;
+    return std::make_unique<SprayAndWaitRouter>(cfg);
+  }
+  if (name == "epidemic") return std::make_unique<EpidemicRouter>();
+  if (name == "direct-delivery") {
+    return std::make_unique<DirectDeliveryRouter>();
+  }
+  if (name == "first-contact") return std::make_unique<FirstContactRouter>();
+  if (name == "spray-and-focus") {
+    return std::make_unique<SprayAndFocusRouter>();
+  }
+  if (name == "prophet") return std::make_unique<ProphetRouter>();
+  DTN_REQUIRE(false, "unknown router: " + name);
+  return nullptr;
+}
+
+std::unique_ptr<BufferPolicy> make_policy_by_name(const std::string& name,
+                                                  const SdsrpParams& params,
+                                                  std::uint64_t seed) {
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "drop-tail") return std::make_unique<DropTailPolicy>();
+  if (name == "drop-largest") return std::make_unique<DropLargestPolicy>();
+  if (name == "lifo") return std::make_unique<LifoPolicy>();
+  if (name == "random") return std::make_unique<RandomPolicy>(seed);
+  if (name == "ttl-ratio") return std::make_unique<TtlRatioPolicy>();
+  if (name == "copies-ratio") return std::make_unique<CopiesRatioPolicy>();
+  if (name == "mofo") return std::make_unique<MofoPolicy>();
+  if (name == "sdsrp") return std::make_unique<SdsrpPolicy>(params);
+  if (name == "knapsack-sdsrp") {
+    return std::make_unique<KnapsackSdsrpPolicy>(params);
+  }
+  if (name == "sdsrp-oracle") {
+    return std::make_unique<SdsrpOraclePolicy>(params);
+  }
+  if (name == "gbsd") return std::make_unique<GbsdPolicy>();
+  if (name == "gbsd-delay") return std::make_unique<GbsdDelayPolicy>();
+  DTN_REQUIRE(false, "unknown buffer policy: " + name);
+  return nullptr;
+}
+
+}  // namespace dtn::pipeline

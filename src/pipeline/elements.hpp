@@ -1,0 +1,36 @@
+// Shared name→instance factories for routers and buffer policies. Both
+// the legacy closed-class path (config/factory.cpp, `Router.name` /
+// `Policy.name`) and the pipeline compiler construct through these, so
+// an element-graph build and a legacy build of the same policy are the
+// *same object type with the same constructor arguments* — digest
+// identity by construction, not by re-implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/buffer/sdsrp_policy.hpp"
+#include "src/core/buffer_policy.hpp"
+#include "src/core/router.hpp"
+#include "src/routing/spray_and_wait.hpp"
+
+namespace dtn::pipeline {
+
+/// Legacy router names: spray-and-wait | spray-and-wait-source |
+/// epidemic | direct-delivery | first-contact | spray-and-focus |
+/// prophet. For the spray variants `sw.binary` is overridden by the
+/// name; the admission flags are taken from `sw` as given. Throws
+/// PreconditionError on an unknown name.
+std::unique_ptr<Router> make_router_by_name(const std::string& name,
+                                            const SprayAndWaitConfig& sw);
+
+/// Legacy policy names: fifo | drop-tail | drop-largest | lifo | random |
+/// ttl-ratio | copies-ratio | mofo | sdsrp | sdsrp-oracle |
+/// knapsack-sdsrp | gbsd | gbsd-delay. `seed` feeds RandomPolicy only.
+/// Throws PreconditionError on an unknown name.
+std::unique_ptr<BufferPolicy> make_policy_by_name(const std::string& name,
+                                                  const SdsrpParams& params,
+                                                  std::uint64_t seed);
+
+}  // namespace dtn::pipeline

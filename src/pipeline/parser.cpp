@@ -1,0 +1,521 @@
+#include "src/pipeline/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace dtn::pipeline {
+
+namespace {
+
+// --- lexer ------------------------------------------------------------
+
+enum class Tok { kWord, kArrow, kDColon, kLParen, kRParen, kComma, kSemi, kEnd };
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  SourcePos pos;
+};
+
+bool word_start(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool word_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-';
+}
+
+std::vector<Token> lex(const std::string& text) {
+  std::vector<Token> out;
+  SourcePos pos;
+  std::size_t i = 0;
+  auto advance = [&](char c) {
+    if (c == '\n') {
+      ++pos.line;
+      pos.col = 1;
+    } else {
+      ++pos.col;
+    }
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    const SourcePos here = pos;
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') advance(text[i++]);
+      continue;
+    }
+    if (c == '\n' || c == ';') {
+      out.push_back({Tok::kSemi, std::string(1, c), here});
+      advance(c);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(c);
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+      out.push_back({Tok::kArrow, "->", here});
+      advance(c);
+      advance('>');
+      i += 2;
+      continue;
+    }
+    if (c == ':' && i + 1 < text.size() && text[i + 1] == ':') {
+      out.push_back({Tok::kDColon, "::", here});
+      advance(c);
+      advance(':');
+      i += 2;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back({Tok::kLParen, "(", here});
+      advance(c);
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      out.push_back({Tok::kRParen, ")", here});
+      advance(c);
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      out.push_back({Tok::kComma, ",", here});
+      advance(c);
+      ++i;
+      continue;
+    }
+    if (word_start(c)) {
+      std::string w;
+      while (i < text.size() && word_cont(text[i])) {
+        // '-' begins '->' — an arrow, never part of a word.
+        if (text[i] == '-' && i + 1 < text.size() && text[i + 1] == '>') break;
+        w.push_back(text[i]);
+        advance(text[i]);
+        ++i;
+      }
+      out.push_back({Tok::kWord, std::move(w), here});
+      continue;
+    }
+    throw PipelineError(here, std::string("unexpected character '") + c + "'");
+  }
+  out.push_back({Tok::kEnd, "", pos});
+  return out;
+}
+
+// --- argument validation ----------------------------------------------
+
+std::string enum_values_joined(const char* const* vals) {
+  std::string s;
+  for (const char* const* v = vals; *v != nullptr; ++v) {
+    if (!s.empty()) s += " | ";
+    s += *v;
+  }
+  return s;
+}
+
+void check_value(const ElementClassSpec& cls, const ParamSpec& p,
+                 const std::string& value, SourcePos pos) {
+  const auto fail = [&](const std::string& expected) {
+    throw PipelineError(pos, "invalid value '" + value + "' for " +
+                                 cls.name + " argument '" + p.name +
+                                 "': expected " + expected);
+  };
+  switch (p.type) {
+    case ParamType::kInt: {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') fail("an integer");
+      break;
+    }
+    case ParamType::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') fail("a number");
+      break;
+    }
+    case ParamType::kBool:
+      if (value != "true" && value != "false") fail("true | false");
+      break;
+    case ParamType::kEnum: {
+      for (const char* const* v = p.enum_values; *v != nullptr; ++v) {
+        if (value == *v) return;
+      }
+      fail("one of " + enum_values_joined(p.enum_values));
+      break;
+    }
+  }
+}
+
+const ParamSpec* find_param(const std::vector<ParamSpec>& params,
+                            const std::string& name) {
+  for (const ParamSpec& p : params) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+// --- parser -----------------------------------------------------------
+
+struct RawEndpoint {
+  std::string word;
+  bool is_element = false;  ///< had '(...)' or otherwise forced inline
+  std::size_t inline_slot = 0;
+  std::vector<ParsedArg> args;
+  SourcePos pos;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : toks_(lex(text)) {}
+
+  Graph run() {
+    while (peek().kind != Tok::kEnd) {
+      if (peek().kind == Tok::kSemi) {
+        next();
+        continue;
+      }
+      statement();
+    }
+    return finish();
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+
+  [[noreturn]] void err(SourcePos pos, const std::string& msg) const {
+    throw PipelineError(pos, msg);
+  }
+
+  void expect_stmt_end() {
+    const Token& t = peek();
+    if (t.kind != Tok::kSemi && t.kind != Tok::kEnd) {
+      err(t.pos, "expected ';' or end of statement, got '" + t.text + "'");
+    }
+  }
+
+  /// Parses `Class` or `Class(args)` where the class word was consumed.
+  ParsedElement element_body(const Token& cls_tok) {
+    const ElementClassSpec* cls = find_element_class(cls_tok.text);
+    if (cls == nullptr) {
+      err(cls_tok.pos, "unknown element class '" + cls_tok.text + "'");
+    }
+    ParsedElement e;
+    e.cls = cls;
+    e.pos = cls_tok.pos;
+    std::size_t next_positional = 0;
+    std::set<std::string> seen;
+    if (peek().kind == Tok::kLParen) {
+      next();
+      if (peek().kind != Tok::kRParen) {
+        while (true) {
+          const Token& w1 = peek();
+          if (w1.kind != Tok::kWord) {
+            err(w1.pos, "expected an argument, got '" + w1.text + "'");
+          }
+          next();
+          if (peek().kind == Tok::kWord) {  // keyword form: name value
+            const Token& w2 = next();
+            const ParamSpec* p = find_param(cls->keyword, w1.text);
+            if (p == nullptr) {
+              err(w1.pos, std::string("unknown argument '") + w1.text +
+                              "' for " + cls->name);
+            }
+            if (!seen.insert(w1.text).second) {
+              err(w1.pos, std::string("duplicate argument '") + w1.text +
+                              "' for " + cls->name);
+            }
+            check_value(*cls, *p, w2.text, w2.pos);
+            e.args.push_back({w1.text, w2.text, w1.pos});
+          } else {  // positional form: value
+            if (next_positional >= cls->positional.size()) {
+              if (find_param(cls->keyword, w1.text) != nullptr) {
+                err(w1.pos, std::string("argument '") + w1.text +
+                                "' needs a value");
+              }
+              err(w1.pos, std::string("too many arguments for ") + cls->name +
+                              " (takes " +
+                              std::to_string(cls->positional.size()) +
+                              " positional)");
+            }
+            const ParamSpec& p = cls->positional[next_positional++];
+            check_value(*cls, p, w1.text, w1.pos);
+            e.args.push_back({p.name, w1.text, w1.pos});
+          }
+          if (peek().kind == Tok::kComma) {
+            next();
+            continue;
+          }
+          break;
+        }
+      }
+      if (peek().kind != Tok::kRParen) {
+        err(peek().pos, "expected ')' or ',', got '" + peek().text + "'");
+      }
+      next();
+    }
+    if (next_positional < cls->positional.size()) {
+      err(cls_tok.pos, std::string(cls->name) + " needs a '" +
+                           cls->positional[next_positional].name +
+                           "' argument");
+    }
+    return e;
+  }
+
+  void statement() {
+    const Token& first = peek();
+    if (first.kind != Tok::kWord) {
+      err(first.pos, "expected an element or instance name, got '" +
+                         first.text + "'");
+    }
+    if (peek(1).kind == Tok::kDColon) {  // decl: name :: Class(args)
+      const Token name = next();
+      next();  // '::'
+      if (find_element_class(name.text) != nullptr) {
+        err(name.pos, "instance name '" + name.text +
+                          "' collides with an element class");
+      }
+      if (decls_.count(name.text) > 0) {
+        err(name.pos, "duplicate declaration of '" + name.text + "'");
+      }
+      const Token& cls_tok = peek();
+      if (cls_tok.kind != Tok::kWord) {
+        err(cls_tok.pos, "expected an element class after '::'");
+      }
+      next();
+      ParsedElement e = element_body(cls_tok);
+      e.instance = name.text;
+      e.pos = name.pos;  // diagnostics about the instance point at its decl
+      decls_[name.text] = elements_.size();
+      elements_.push_back(std::move(e));
+      expect_stmt_end();
+      return;
+    }
+    // chain: endpoint ('->' endpoint)+
+    std::vector<RawEndpoint> chain;
+    chain.push_back(endpoint());
+    if (peek().kind != Tok::kArrow) {
+      err(peek().pos, "expected '->' after '" + chain.back().word + "'");
+    }
+    while (peek().kind == Tok::kArrow) {
+      next();
+      chain.push_back(endpoint());
+    }
+    expect_stmt_end();
+    chains_.push_back(std::move(chain));
+  }
+
+  RawEndpoint endpoint() {
+    const Token& w = peek();
+    if (w.kind != Tok::kWord) {
+      err(w.pos, "expected an element or instance name, got '" + w.text + "'");
+    }
+    next();
+    RawEndpoint ep;
+    ep.word = w.text;
+    ep.pos = w.pos;
+    if (peek().kind == Tok::kLParen || find_element_class(w.text) != nullptr) {
+      // Inline (anonymous) element; bare class names are zero-arg inline.
+      ParsedElement e = element_body(w);
+      std::ostringstream anon;
+      anon << e.cls->name << "@" << w.pos.line << ":" << w.pos.col;
+      e.instance = anon.str();
+      ep.is_element = true;
+      ep.args = e.args;
+      inline_index_.push_back(elements_.size());
+      ep.inline_slot = inline_index_.size() - 1;
+      elements_.push_back(std::move(e));
+    }
+    return ep;
+  }
+
+  Graph finish() {
+    // Resolve endpoints into element indices and collect edges.
+    struct Edge {
+      std::size_t from, to;
+      SourcePos pos;
+    };
+    std::vector<Edge> edges;
+    for (const auto& chain : chains_) {
+      std::vector<std::size_t> idx;
+      for (const RawEndpoint& ep : chain) {
+        if (ep.is_element) {
+          idx.push_back(inline_index_[ep.inline_slot]);
+          continue;
+        }
+        const auto it = decls_.find(ep.word);
+        if (it == decls_.end()) {
+          err(ep.pos, "unknown element class or instance '" + ep.word + "'");
+        }
+        idx.push_back(it->second);
+      }
+      for (std::size_t i = 0; i + 1 < idx.size(); ++i) {
+        edges.push_back({idx[i], idx[i + 1], chain[i + 1].pos});
+      }
+    }
+
+    // Port discipline: ≤1 connection per port, and the port must exist.
+    const std::size_t n = elements_.size();
+    std::vector<std::int64_t> out_to(n, -1), in_from(n, -1);
+    for (const Edge& e : edges) {
+      const ParsedElement& from = elements_[e.from];
+      const ParsedElement& to = elements_[e.to];
+      if (!from.cls->has_output()) {
+        err(e.pos, "'" + from.instance + "' is a drop element — it has no "
+                       "output port");
+      }
+      if (!to.cls->has_input()) {
+        err(e.pos, "'" + to.instance + "' is a routing element — it has no "
+                       "input port");
+      }
+      if (out_to[e.from] != -1) {
+        err(e.pos, "output port of '" + from.instance +
+                       "' is already connected");
+      }
+      if (in_from[e.to] != -1) {
+        err(e.pos, "input port of '" + to.instance + "' is already connected");
+      }
+      out_to[e.from] = static_cast<std::int64_t>(e.to);
+      in_from[e.to] = static_cast<std::int64_t>(e.from);
+    }
+
+    if (elements_.empty()) {
+      err(SourcePos{1, 1}, "empty pipeline — expected "
+                           "Router -> [filters] -> PriorityQueue -> Drop");
+    }
+
+    // Exactly one router heads the graph.
+    std::int64_t router = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (elements_[i].cls->kind != ElementKind::kRouter) continue;
+      if (router != -1) {
+        err(elements_[i].pos, "second routing element '" +
+                                  elements_[i].instance +
+                                  "' — a pipeline has exactly one");
+      }
+      router = static_cast<std::int64_t>(i);
+    }
+    if (router == -1) {
+      err(elements_.front().pos,
+          "pipeline needs a routing element at its head");
+    }
+
+    // Walk the chain, enforcing router -> filter* -> queue -> drop.
+    Graph g;
+    g.elements = elements_;
+    std::vector<bool> visited(n, false);
+    bool seen_queue = false;
+    std::size_t at = static_cast<std::size_t>(router);
+    while (true) {
+      visited[at] = true;
+      g.chain.push_back(at);
+      const ParsedElement& cur = elements_[at];
+      if (cur.cls->kind == ElementKind::kDrop) break;
+      if (out_to[at] == -1) {
+        err(cur.pos, "output port of '" + cur.instance +
+                         "' dangles — the pipeline must end in a drop "
+                         "element");
+      }
+      const std::size_t nxt = static_cast<std::size_t>(out_to[at]);
+      const ParsedElement& e = elements_[nxt];
+      switch (e.cls->kind) {
+        case ElementKind::kRouter:
+          break;  // unreachable: routers have no input port
+        case ElementKind::kFilter:
+          if (seen_queue) {
+            err(e.pos, "filter '" + e.instance +
+                           "' must sit between the router and the queue");
+          }
+          break;
+        case ElementKind::kQueue:
+          if (seen_queue) {
+            err(e.pos, "second queue element '" + e.instance +
+                           "' — a pipeline has exactly one scheduling queue");
+          }
+          seen_queue = true;
+          break;
+        case ElementKind::kDrop:
+          if (!seen_queue) {
+            err(e.pos, "expected a scheduling queue before drop element '" +
+                           e.instance + "'");
+          }
+          break;
+      }
+      at = nxt;
+    }
+
+    // Anything off the walked chain is a cycle or a dangling element.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (visited[i]) continue;
+      // Follow out-edges from i; revisiting a node on this walk = cycle.
+      std::set<std::size_t> walk;
+      std::size_t j = i;
+      while (out_to[j] != -1) {
+        walk.insert(j);
+        j = static_cast<std::size_t>(out_to[j]);
+        if (walk.count(j) > 0) {
+          err(elements_[j].pos, "cycle detected through '" +
+                                    elements_[j].instance + "'");
+        }
+        if (visited[j]) break;  // feeds the main chain: caught as port reuse
+      }
+      err(elements_[i].pos, "element '" + elements_[i].instance +
+                                "' is never connected to the pipeline "
+                                "(dangling ports)");
+    }
+    return g;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::vector<ParsedElement> elements_;
+  std::map<std::string, std::size_t> decls_;
+  std::vector<std::size_t> inline_index_;
+  std::vector<std::vector<RawEndpoint>> chains_;
+};
+
+}  // namespace
+
+bool ParsedElement::has_arg(const std::string& name) const {
+  for (const ParsedArg& a : args) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+std::string ParsedElement::arg_string(const std::string& name) const {
+  for (const ParsedArg& a : args) {
+    if (a.name == name) return a.value;
+  }
+  DTN_REQUIRE(false, "pipeline element argument not present: " + name);
+  return {};
+}
+
+std::int64_t ParsedElement::arg_int(const std::string& name,
+                                    std::int64_t dflt) const {
+  return has_arg(name) ? std::strtoll(arg_string(name).c_str(), nullptr, 10)
+                       : dflt;
+}
+
+double ParsedElement::arg_double(const std::string& name, double dflt) const {
+  return has_arg(name) ? std::strtod(arg_string(name).c_str(), nullptr) : dflt;
+}
+
+bool ParsedElement::arg_bool(const std::string& name, bool dflt) const {
+  return has_arg(name) ? arg_string(name) == "true" : dflt;
+}
+
+Graph parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace dtn::pipeline

@@ -1,0 +1,67 @@
+// Parser/validator for the pipeline scenario language (DESIGN.md §15).
+//
+// Grammar (statements end at ';' or newline; '#' comments to end of line):
+//
+//   decl   :=  name '::' element              e.g.  q :: PriorityQueue(sdsrp)
+//   chain  :=  endpoint ('->' endpoint)+      e.g.  sw -> q -> DropTail(lowest)
+//   element:=  Class | Class '(' args? ')'
+//   args   :=  arg (',' arg)*
+//   arg    :=  value                          positional (PriorityQueue(sdsrp))
+//            | key value                      keyword    (copies 16)
+//   endpoint := name | element                inline elements are anonymous
+//
+// parse() lexes, checks every element against the class registry (unknown
+// class, bad arity, unknown/duplicate/ill-typed argument) and validates
+// the graph shape (exactly one router head, filters, one queue, one drop
+// tail; no dangling ports, reused ports or cycles). Every diagnostic
+// carries the 1-based line:column of the offending token.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/element.hpp"
+
+namespace dtn::pipeline {
+
+/// One parsed argument; positional args have an empty `name` until the
+/// parser binds them to the class's positional ParamSpec.
+struct ParsedArg {
+  std::string name;   ///< parameter name (bound for positionals too)
+  std::string value;  ///< raw token text; typed access via the helpers
+  SourcePos pos;
+};
+
+/// One element instance of the graph.
+struct ParsedElement {
+  std::string instance;  ///< declared name, or "ClassName@L:C" anonymous
+  const ElementClassSpec* cls = nullptr;
+  std::vector<ParsedArg> args;
+  SourcePos pos;
+
+  bool has_arg(const std::string& name) const;
+  /// Typed accessors; the parser already validated format and range, so
+  /// these only fail on programmer error (asking for an absent arg).
+  std::string arg_string(const std::string& name) const;
+  std::int64_t arg_int(const std::string& name, std::int64_t dflt) const;
+  double arg_double(const std::string& name, double dflt) const;
+  bool arg_bool(const std::string& name, bool dflt) const;
+};
+
+/// A validated pipeline graph. `chain` orders element indices from the
+/// router head to the drop tail.
+struct Graph {
+  std::vector<ParsedElement> elements;
+  std::vector<std::size_t> chain;
+
+  const ParsedElement& router() const { return elements[chain.front()]; }
+  const ParsedElement& drop() const { return elements[chain.back()]; }
+};
+
+/// Parses and fully validates pipeline text. Throws PipelineError with a
+/// "pipeline:LINE:COL:" prefix on any lexical, arity, type or graph-shape
+/// problem.
+Graph parse(const std::string& text);
+
+}  // namespace dtn::pipeline

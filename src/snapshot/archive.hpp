@@ -29,13 +29,17 @@ namespace dtn::snapshot {
 /// version on any layout change; readers reject archives whose version
 /// they do not understand (no silent best-effort decoding).
 inline constexpr std::uint32_t kArchiveMagic = 0x534E5444u;  // "DTNS" LE
-// v5: message-arena sizing hints (high-water slot count, free-list depth)
-// in buffered checkpoints so a restored World pre-sizes its slabs. (v4:
-// fault-injection state — FaultPlan plus the fault counters in SimStats;
-// v3: event-driven core kinetic state; v2: priority cache.)
+// v6: element-framed pipeline policy state — CompositePolicy brackets
+// each element's bytes with its name in a "pipeline-policy" section
+// (src/pipeline/composite_policy.cpp). Only checkpoints of worlds built
+// from a Pipeline.spec with a non-canonical element pair carry the
+// section, but any v6 layout needs a version old readers refuse rather
+// than misparse. (v5: message-arena sizing hints; v4: fault-injection
+// state — FaultPlan plus the fault counters in SimStats; v3:
+// event-driven core kinetic state; v2: priority cache.)
 // Since v4, readers accept any older version: each load_state consults
 // ArchiveReader::version() and skips sections the writer predates.
-inline constexpr std::uint32_t kArchiveVersion = 5;
+inline constexpr std::uint32_t kArchiveVersion = 6;
 inline constexpr std::uint32_t kArchiveMinVersion = 1;
 
 /// Streaming 64-bit FNV-1a.

@@ -1,16 +1,15 @@
 // Archive backward compatibility.
 //
-// tests/fixtures/ holds small checkpoints written by the actual v1–v4
+// tests/fixtures/ holds small checkpoints written by the actual v1–v5
 // code (generated from the historical commits; see fixtures/manifest.txt).
 // The current reader must restore each one bit-for-bit (pinned restore
 // digest) and resume it to the end of the run deterministically (pinned
 // end digest).
 //
-// v2–v4 additionally must finish *equal to a current cold run*: what
+// v2–v5 additionally must finish *equal to a current cold run*: what
 // those versions added (idle memo, kinetic contact bookkeeping, fault
-// state defaults, and — missing relative to v5 — the arena sizing hints)
-// is derived-but-deterministic state, so losing it cannot change
-// decisions.
+// state defaults, arena sizing hints) is derived-but-deterministic
+// state, so losing it cannot change decisions.
 // v1 predates the priority cache, so a v1 resume legitimately diverges
 // from a warm-cache cold run (staleness within the refresh quantum); its
 // end digest is pinned instead.
@@ -93,7 +92,8 @@ INSTANTIATE_TEST_SUITE_P(Versions, ArchiveCompat,
                          ::testing::Values("v1_rwp_sdsrp.ckpt",
                                            "v2_rwp_sdsrp.ckpt",
                                            "v3_rwp_sdsrp.ckpt",
-                                           "v4_rwp_sdsrp.ckpt"),
+                                           "v4_rwp_sdsrp.ckpt",
+                                           "v5_rwp_sdsrp.ckpt"),
                          [](const ::testing::TestParamInfo<const char*>& i) {
                            return std::string(i.param).substr(0, 2);
                          });
@@ -103,7 +103,8 @@ TEST(ArchiveCompat, DerivedStateVersionsFinishEqualToColdRun) {
   cold->run();
   const std::uint64_t cold_digest = cold->digest();
   for (const char* file :
-       {"v2_rwp_sdsrp.ckpt", "v3_rwp_sdsrp.ckpt", "v4_rwp_sdsrp.ckpt"}) {
+       {"v2_rwp_sdsrp.ckpt", "v3_rwp_sdsrp.ckpt", "v4_rwp_sdsrp.ckpt",
+        "v5_rwp_sdsrp.ckpt"}) {
     auto restored = snapshot::restore_checkpoint(
         std::string(DTN_FIXTURE_DIR) + "/" + file);
     restored.world->run();

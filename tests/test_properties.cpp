@@ -3,6 +3,7 @@
 // multiple points in simulated time.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -13,6 +14,8 @@
 #include "src/config/scenario.hpp"
 #include "src/core/node.hpp"
 #include "src/mobility/stationary.hpp"
+#include "src/pipeline/compile.hpp"
+#include "src/pipeline/parser.hpp"
 #include "src/routing/spray_and_wait.hpp"
 #include "src/util/rng.hpp"
 
@@ -126,10 +129,15 @@ TEST_P(WorldInvariants, HoldAtEveryCheckpoint) {
 }
 
 std::string sanitize(std::string name) {
-  for (char& c : name) {
-    if (c == '-') c = '_';
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    } else if (c == '-' || c == '_') {
+      out.push_back('_');
+    }  // anything else (pipeline spec punctuation) is dropped
   }
-  return name;
+  return out;
 }
 
 std::string policy_seed_name(
@@ -219,12 +227,28 @@ class BufferModelFuzz : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BufferModelFuzz, AdmissionAgreesWithNaiveModel) {
   const std::string policy_name = GetParam();
-  const bool deterministic = policy_name != "random";
+  // "pipeline:" params build the policy through the element-graph
+  // compiler instead of Policy.name — the composite's element-initiated
+  // drops must satisfy the same bump-exactness assertions (one
+  // Buffer::revision bump per membership change) as the closed classes.
+  const bool is_pipeline = policy_name.rfind("pipeline:", 0) == 0;
+  const bool deterministic = policy_name.find("random") == std::string::npos &&
+                             policy_name.find("Random") == std::string::npos;
   Scenario sc = Scenario::random_waypoint_paper();
-  sc.policy = policy_name;
+  if (!is_pipeline) sc.policy = policy_name;
 
   for (const std::uint64_t seed : {11ull, 29ull, 83ull}) {
-    auto policy = make_policy(sc, seed);
+    std::unique_ptr<BufferPolicy> policy;
+    if (is_pipeline) {
+      pipeline::CompileOptions opts;
+      opts.policy_seed = seed;
+      policy = pipeline::compile(
+                   pipeline::parse(policy_name.substr(sizeof("pipeline:") - 1)),
+                   opts)
+                   .policy;
+    } else {
+      policy = make_policy(sc, seed);
+    }
     SprayAndWaitRouter router;
     constexpr std::int64_t kCapacity = 3'000'000;
     MessageArena arena;
@@ -348,10 +372,16 @@ TEST_P(BufferModelFuzz, AdmissionAgreesWithNaiveModel) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Policies, BufferModelFuzz,
-                         ::testing::Values("fifo", "ttl-ratio", "copies-ratio",
-                                           "sdsrp", "random"),
-                         bare_policy_name);
+INSTANTIATE_TEST_SUITE_P(
+    Policies, BufferModelFuzz,
+    ::testing::Values(
+        "fifo", "ttl-ratio", "copies-ratio", "sdsrp", "random",
+        // Element-graph composites: a deterministic one (reject-newcomer
+        // drop under a ttl ordering) and a stochastic one (random victim
+        // under an sdsrp ordering).
+        "pipeline:SprayAndWait -> PriorityQueue(ttl-ratio) -> DropTail(reject)",
+        "pipeline:SprayAndWait -> PriorityQueue(sdsrp) -> DropRandom"),
+    bare_policy_name);
 
 }  // namespace
 }  // namespace dtn
