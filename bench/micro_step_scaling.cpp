@@ -15,7 +15,13 @@
 //     horizons impractical there, so the digest gate runs both paths
 //     over a short window and only the event path is timed in full.
 //
-//   ./micro_step_scaling [warm_s] [measure_s] [out.json]
+//   ./micro_step_scaling [warm_s] [measure_s] [out.json] [threads]
+//
+// `threads` (or the DTN_THREADS environment variable; the positional
+// argument wins) sets Parallel.threads for the event-path runs — the
+// legacy path is the serial baseline by definition and always runs with
+// 0. Thread count never changes results (DESIGN.md §16), so the digest
+// gate is unaffected; the JSON records the value used.
 //
 // Writes a JSON report (default BENCH_step_scaling.json); the committed
 // copy at the repo root is produced with the default full horizons.
@@ -58,9 +64,11 @@ dtn::Scenario scaled_scenario(std::size_t nodes, const std::string& policy,
 }
 
 RunResult run_one(std::size_t nodes, const std::string& policy, bool legacy,
-                  double warm_s, double measure_s) {
+                  double warm_s, double measure_s, std::size_t threads) {
   dtn::Scenario sc = scaled_scenario(nodes, policy, legacy);
   sc.world.duration = warm_s + measure_s;
+  // The legacy baseline stays serial; `threads` applies to the event path.
+  sc.world.threads = legacy ? 0 : threads;
   auto world = dtn::build_world(sc);
   world->run_until(warm_s);
   const auto t0 = std::chrono::steady_clock::now();
@@ -94,19 +102,26 @@ int main(int argc, char** argv) {
   const double warm_s = argc > 1 ? std::strtod(argv[1], nullptr) : 300.0;
   const double measure_s = argc > 2 ? std::strtod(argv[2], nullptr) : 1500.0;
   const std::string out_path = argc > 3 ? argv[3] : "BENCH_step_scaling.json";
+  std::size_t threads = 0;
+  if (const char* env = std::getenv("DTN_THREADS")) {
+    threads = std::strtoul(env, nullptr, 10);
+  }
+  if (argc > 4) threads = std::strtoul(argv[4], nullptr, 10);
 
   const std::vector<std::size_t> fleet_sizes{126, 500, 2000};
   const std::vector<std::string> policies{"fifo", "sdsrp"};
 
   std::cout << "Table II RWP step scaling, warm " << warm_s << " s, measure "
-            << measure_s << " s\n";
+            << measure_s << " s, event-path threads " << threads << "\n";
 
   bool all_digests_match = true;
   std::string rows;
   for (const std::size_t n : fleet_sizes) {
     for (const std::string& policy : policies) {
-      const RunResult legacy = run_one(n, policy, true, warm_s, measure_s);
-      const RunResult event = run_one(n, policy, false, warm_s, measure_s);
+      const RunResult legacy =
+          run_one(n, policy, true, warm_s, measure_s, threads);
+      const RunResult event =
+          run_one(n, policy, false, warm_s, measure_s, threads);
       const bool match = legacy.digest == event.digest;
       all_digests_match = all_digests_match && match;
       std::cout << "  N=" << n << " " << policy << ": legacy "
@@ -140,13 +155,13 @@ int main(int argc, char** argv) {
   for (const LargeRow& lr : large) {
     const std::string policy = "fifo";
     const RunResult legacy_gate =
-        run_one(lr.nodes, policy, true, 0.0, lr.gate_s);
+        run_one(lr.nodes, policy, true, 0.0, lr.gate_s, threads);
     const RunResult event_gate =
-        run_one(lr.nodes, policy, false, 0.0, lr.gate_s);
+        run_one(lr.nodes, policy, false, 0.0, lr.gate_s, threads);
     const bool match = legacy_gate.digest == event_gate.digest;
     all_digests_match = all_digests_match && match;
     const RunResult event =
-        run_one(lr.nodes, policy, false, lr.warm_s, lr.measure_s);
+        run_one(lr.nodes, policy, false, lr.warm_s, lr.measure_s, threads);
     std::cout << "  N=" << lr.nodes << " " << policy
               << " (constant density): event " << event.steps_per_sec
               << " steps/s, gate window " << lr.gate_s << " s digest "
@@ -162,6 +177,7 @@ int main(int argc, char** argv) {
       << "  \"scenario\": \"rwp-paper\",\n"
       << "  \"warm_s\": " << warm_s << ",\n"
       << "  \"measure_s\": " << measure_s << ",\n"
+      << "  \"event_path_threads\": " << threads << ",\n"
       << "  \"results\": [\n"
       << rows << "\n"
       << "  ],\n"

@@ -16,6 +16,7 @@ namespace dtn {
 
 class Node;
 class GlobalRegistry;
+struct NodeHotState;
 
 namespace snapshot {
 class ArchiveWriter;
@@ -35,6 +36,11 @@ struct PolicyContext {
   /// is decision-identical to recomputing).
   bool cache_enabled = false;
   double priority_refresh_s = 0.0;
+  /// World SoA block (SDSRP estimator mirrors, DESIGN.md §16). When set,
+  /// priority kernels read `hot_mean_intermeeting(*hot, node->id(), now)`
+  /// — bit-identical to the estimator member function — instead of
+  /// chasing the per-node estimator object. Null for standalone nodes.
+  const NodeHotState* hot = nullptr;
 
   /// Same context viewed from another node's buffer.
   PolicyContext viewed_from(const Node& other) const {

@@ -31,10 +31,9 @@
 
 #include "src/geo/spatial_grid.hpp"
 #include "src/geo/vec2.hpp"
+#include "src/util/task_graph.hpp"
 
 namespace dtn {
-
-class ThreadPool;
 
 namespace snapshot {
 class ArchiveWriter;
@@ -70,21 +69,86 @@ class ContactTracker {
   /// restored tracker keeps its checkpointed budget.
   void set_motion_bound(double bound);
 
-  /// Optional intra-update parallelism (DESIGN.md §11). When a pool with
-  /// more than one worker is attached, the candidate-pair enumeration of
-  /// a full pass and the exact recheck of the watch set are sharded over
-  /// contiguous index ranges; every shard's output is locally sorted and
-  /// the shards partition an ascending range, so concatenating them
-  /// reproduces the serial enumeration order bit-for-bit. The returned
-  /// churn, the current() set and the kinetic budget are therefore
-  /// identical at any worker count, including no pool at all (the
-  /// reference serial path). Pass nullptr to detach.
-  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  /// Optional intra-update parallelism (DESIGN.md §11/§16). When an
+  /// executor with helper lanes is attached, the candidate-pair
+  /// enumeration of a full pass and the exact recheck of the watch set
+  /// are sharded over contiguous index ranges; every shard's output is
+  /// locally sorted and the shards partition an ascending range, so
+  /// concatenating them reproduces the serial enumeration order
+  /// bit-for-bit. The returned churn, the current() set and the kinetic
+  /// budget are therefore identical at any lane count, including no
+  /// executor at all (the reference serial path). Pass nullptr to detach.
+  void set_executor(TaskExecutor* exec) { exec_ = exec; }
 
   /// Processes one movement step; returns the link churn. Pair lists are
   /// sorted, so downstream processing is deterministic. The returned
   /// reference and the `current()` view stay valid until the next update.
+  /// Equivalent to plan_update + every run_shard + finish_update.
   const ContactChurn& update(const std::vector<Vec2>& positions);
+
+  // --- staged update (task-graph integration, DESIGN.md §16) ---
+  // World::step drives the same update as three dependency nodes so the
+  // parallel middle stage overlaps other step phases instead of
+  // barriering on a nested dispatch:
+  //   plan_update (serial)  — charges the kinetic budget, rebuilds the
+  //                           grid when a full pass is due, sizes shards;
+  //   run_shard   (parallel)— one call per shard in [0, stage_shards());
+  //                           shards touch disjoint state;
+  //   finish_update (serial)— concatenates shard output in shard order
+  //                           and diffs against the current pair set.
+  // `max_d2` is the squared maximum single-node displacement since the
+  // previous update; it is only read when wants_displacement() — pass
+  // 0.0 otherwise.
+
+  /// True when the next plan_update needs the fleet's max displacement
+  /// to decide between a skip and a full pass (lets the caller fuse that
+  /// reduction into its mobility phase instead of a separate sweep).
+  bool wants_displacement(std::size_t n_nodes) const {
+    return slack_ > 0.0 && have_prev_ && prev_.size() == n_nodes &&
+           budget_ > 0.0;
+  }
+
+  void plan_update(const std::vector<Vec2>& positions, double max_d2);
+  /// Shards to run after plan_update (>= 1; 1 means serial-sized work).
+  std::size_t stage_shards() const { return stage_shards_; }
+  void run_shard(std::size_t s, const std::vector<Vec2>& positions);
+  const ContactChurn& finish_update();
+
+  // --- quiet-step support (batched stepping, DESIGN.md §16) ---
+  // When the watch set is empty and the budget covers several steps of
+  // worst-case motion, no pair can change status for k steps: the caller
+  // may advance mobility k times without any tracker pass, charging each
+  // step's observed displacement. commit_positions replaces the
+  // reference snapshot at the end of the batch.
+
+  /// True when update() would provably produce empty churn for any step
+  /// whose displacement fits the budget: skipping is armed and there are
+  /// no boundary pairs to recheck.
+  bool quiet_ready(std::size_t n_nodes) const {
+    return wants_displacement(n_nodes) && watch_.empty();
+  }
+  /// Remaining kinetic budget in meters of pairwise-distance motion.
+  double kinetic_budget() const { return budget_; }
+  /// The advertised per-step motion bound (< 0: skipping disabled).
+  double motion_bound() const { return bound_; }
+  /// Books one skipped-without-recheck step: charges the observed
+  /// displacement against the budget exactly like update() would.
+  /// Precondition: the charge fits (caller sized the batch from
+  /// kinetic_budget() / motion_bound()).
+  void charge_quiet_step(double max_d2);
+  /// Replaces the reference positions after a quiet batch.
+  void commit_positions(const std::vector<Vec2>& positions);
+
+  /// Positions at the previous update — the displacement reference for
+  /// wants_displacement()/quiet batches. Valid when have_prev (i.e.
+  /// wants_displacement/quiet_ready returned true); unlike the caller's
+  /// own position buffer it survives checkpoints, so batch sizing reads
+  /// it rather than a possibly-stale working copy.
+  const std::vector<Vec2>& prev_positions() const { return prev_; }
+
+  /// FP guard margin used in budget comparisons (callers sizing quiet
+  /// batches must leave the same headroom).
+  static constexpr double kBudgetEps = 1e-9;
 
   /// Pairs currently in contact (sorted ascending).
   const std::vector<NodePair>& current() const { return current_; }
@@ -141,14 +205,13 @@ class ContactTracker {
     double max_c2 = 0.0;
   };
 
-  void full_pass(const std::vector<Vec2>& positions);
-  void recheck_watch_pairs(const std::vector<Vec2>& positions);
   /// Number of shards to split `n` work items into, or 1 for serial.
   std::size_t shard_count(std::size_t n) const;
 
   double range_;
   double slack_ = 0.0;    ///< extra grid radius; 0 = skipping disabled
   double budget_ = 0.0;   ///< remaining motion (m) before a pass is due
+  double bound_ = -1.0;   ///< advertised per-step motion bound (< 0: off)
   bool have_prev_ = false;
   SpatialGrid grid_;
   std::vector<NodePair> current_;  ///< sorted
@@ -158,9 +221,13 @@ class ContactTracker {
   std::vector<WatchPair> watch_;   ///< sorted by (i, j)
   std::size_t updates_ = 0;
   std::size_t full_passes_ = 0;
-  ThreadPool* pool_ = nullptr;     ///< non-owning; nullptr = serial
+  TaskExecutor* exec_ = nullptr;   ///< non-owning; nullptr = serial
   std::vector<Shard> shards_;      ///< parallel scratch, reused
-  std::vector<SpatialGrid::PairHit> hits_;  ///< serial full-pass scratch
+  // In-flight staged update (between plan_update and finish_update).
+  bool stage_skip_ = false;        ///< recheck (true) vs full pass
+  std::size_t stage_shards_ = 1;
+  const std::vector<Vec2>* stage_positions_ = nullptr;  ///< update() only
+  TaskKernel shard_kernel_;        ///< preallocated for update()'s dispatch
 };
 
 }  // namespace dtn

@@ -1,13 +1,14 @@
-// Deterministic intra-step parallelism (DESIGN.md §11): running the
+// Deterministic intra-step parallelism (DESIGN.md §11/§16): running the
 // World with any Parallel.threads value must produce bit-identical
-// digest trajectories to the serial reference — the pool only changes
-// *where* read-mostly work runs, never what it computes or the order in
-// which effects are applied. The proof mirrors the event-core suite:
-// digest trajectories on both paper scenarios under all four paper
-// policies, serial vs 1/2/8 workers, with and without faults, plus
-// targeted checks for the sharded subsystems (contact churn ordering,
-// batched TTL verdicts, checkpoint round-trips) and the zero-allocation
-// guarantee of the steady-state step loop.
+// digest trajectories to the serial reference — the task-graph executor
+// only changes *where* read-mostly work runs, never what it computes or
+// the order in which effects are applied. The proof mirrors the
+// event-core suite: digest trajectories on both paper scenarios under
+// all four paper policies, serial vs 1/2/8 workers, with and without
+// faults, plus targeted checks for the sharded subsystems (contact
+// churn ordering, batched TTL verdicts, checkpoint round-trips) and the
+// zero-allocation guarantee of the steady-state step loop, serial and
+// parallel alike.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -27,7 +28,7 @@
 #include "src/routing/spray_and_wait.hpp"
 #include "src/snapshot/checkpoint.hpp"
 #include "src/util/rng.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/util/task_graph.hpp"
 
 // Counts every global allocation so the steady-state test below can
 // assert the step loop performs none once warm. Counting is cheap and
@@ -150,8 +151,8 @@ TEST(ParallelStepEquivalence, TightBuffersExerciseDropAndPrewarmPaths) {
 // --- sharded-subsystem checks ---
 
 TEST(ParallelContactTracker, ChurnOrderingMatchesSerialAtAnyWorkerCount) {
-  // Drive two trackers over the same random walk: one serial, one with a
-  // pool attached. Churn lists, the current set and the skip/full-pass
+  // Drive two trackers over the same random walk: one serial, one with an
+  // executor attached. Churn lists, the current set and the skip/full-pass
   // cadence must agree step for step — the sharded candidate enumeration
   // and watch recheck only ever batch the serial iteration order.
   constexpr std::size_t kNodes = 300;
@@ -163,8 +164,8 @@ TEST(ParallelContactTracker, ChurnOrderingMatchesSerialAtAnyWorkerCount) {
     ContactTracker parallel(kRange);
     serial.set_motion_bound(kSpeed * kStep);
     parallel.set_motion_bound(kSpeed * kStep);
-    ThreadPool pool(workers);
-    parallel.set_thread_pool(&pool);
+    TaskExecutor exec(workers);
+    parallel.set_executor(&exec);
 
     Rng rng(2026);
     std::vector<Vec2> pos(kNodes);
@@ -307,6 +308,75 @@ TEST(ParallelConfig, ThreadsRoundTripsThroughSettings) {
   EXPECT_EQ(back.world.threads, 8u);
 }
 
+// --- quiet-step batching ---
+
+// A fleet slow enough that the kinetic budget covers many steps of
+// worst-case motion: run_until fuses those spans into batched mobility
+// advances. Adjacent walk boxes nearly touch, so contact episodes (and
+// the sprayed traffic riding on them) punctuate the quiet spans, and
+// staggered TTLs force batches to break at exact expiry steps.
+std::unique_ptr<World> quiet_batch_world(std::size_t threads) {
+  WorldConfig cfg;
+  cfg.step = 1.0;
+  cfg.duration = 1200.0;
+  cfg.range = 10.0;
+  cfg.bandwidth = 10'000.0;
+  cfg.threads = threads;
+  auto w = std::make_unique<World>(cfg);
+  w->set_router(std::make_unique<SprayAndWaitRouter>());
+  w->set_policy(std::make_unique<FifoPolicy>());
+  for (int i = 0; i < 12; ++i) {
+    RandomWalkConfig wc;
+    wc.area = Rect({i * 32.0, 0.0}, {i * 32.0 + 30.0, 30.0});
+    wc.v_min = wc.v_max = 0.25;
+    wc.epoch = 20.0;
+    w->add_node(std::make_unique<RandomWalkModel>(wc, Rng(42 + i)), 100000);
+  }
+  MessageId id = 1;
+  for (NodeId n = 0; n + 1 < 12; ++n) {
+    Message m;
+    m.id = id++;
+    m.source = n;
+    m.destination = n + 1;
+    m.size = 100;
+    m.created = 0.0;
+    m.ttl = 100.0 + 50.0 * static_cast<double>(n);
+    m.copies = 4;
+    m.initial_copies = 4;
+    m.received = 0.0;
+    EXPECT_TRUE(w->inject_message(m));
+  }
+  return w;
+}
+
+TEST(QuietBatch, RunUntilMatchesPureStepLoop) {
+  // run_until fuses provably-quiet spans into batched mobility advances
+  // (DESIGN.md §16); step() never batches. The digest trajectories must
+  // be bit-identical, with batches breaking at exactly the right step
+  // around TTL expiries, contact episodes and occupancy samples — at
+  // any thread count, since batch sizing is state-pure.
+  auto reference = quiet_batch_world(0);
+  std::vector<std::uint64_t> ref_digests;
+  for (double t = 100.0; t <= 1200.0 + 1e-9; t += 100.0) {
+    while (reference->now() + 1.0 <= t + 1e-9) reference->step();
+    ref_digests.push_back(reference->digest());
+  }
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    auto w = quiet_batch_world(threads);
+    std::vector<std::uint64_t> digests;
+    for (double t = 100.0; t <= 1200.0 + 1e-9; t += 100.0) {
+      w->run_until(t);
+      digests.push_back(w->digest());
+    }
+    EXPECT_EQ(digests, ref_digests) << "threads=" << threads;
+    // Vacuity guard: batched steps never pass through step(), so they
+    // are invisible to the per-step profile counter. If batching never
+    // engaged, this scenario is not testing what it claims to.
+    EXPECT_LT(w->phase_profile().steps, reference->phase_profile().steps)
+        << "threads=" << threads;
+  }
+}
+
 // --- steady-state allocation ---
 
 TEST(ParallelScratch, SteadyStateStepLoopDoesNotAllocate) {
@@ -319,26 +389,32 @@ TEST(ParallelScratch, SteadyStateStepLoopDoesNotAllocate) {
   // quiet stationary fleet reaches that steady state immediately:
   // priority caching off keeps the idle memo and per-node memos empty,
   // and the huge occupancy interval keeps the sampler out of the window.
-  WorldConfig cfg;
-  cfg.step = 1.0;
-  cfg.duration = 1000.0;
-  cfg.range = 10.0;
-  cfg.bandwidth = 100.0;
-  cfg.priority_cache = false;
-  cfg.occupancy_sample_interval = 1e9;
-  auto w = std::make_unique<World>(cfg);
-  w->set_router(std::make_unique<SprayAndWaitRouter>());
-  w->set_policy(std::make_unique<FifoPolicy>());
-  for (int i = 0; i < 16; ++i) {
-    w->add_node(std::make_unique<StationaryModel>(
-                    Vec2{static_cast<double>(i) * 500.0, 0.0}),
-                10000);
+  // The parallel variant additionally pins the executor contract: graph
+  // dispatch, for_each and the quiet-batch path borrow preallocated
+  // kernels and never touch the heap once warm.
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    WorldConfig cfg;
+    cfg.step = 1.0;
+    cfg.duration = 1000.0;
+    cfg.range = 10.0;
+    cfg.bandwidth = 100.0;
+    cfg.priority_cache = false;
+    cfg.occupancy_sample_interval = 1e9;
+    cfg.threads = threads;
+    auto w = std::make_unique<World>(cfg);
+    w->set_router(std::make_unique<SprayAndWaitRouter>());
+    w->set_policy(std::make_unique<FifoPolicy>());
+    for (int i = 0; i < 16; ++i) {
+      w->add_node(std::make_unique<StationaryModel>(
+                      Vec2{static_cast<double>(i) * 500.0, 0.0}),
+                  10000);
+    }
+    w->run_until(50.0);  // warm every scratch buffer
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    w->run_until(150.0);
+    const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << "threads=" << threads;
   }
-  w->run_until(50.0);  // warm every scratch buffer
-  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
-  w->run_until(150.0);
-  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
-  EXPECT_EQ(after - before, 0u);
 #endif  // DTN_NO_ALLOC_COUNTER
 }
 
@@ -353,37 +429,43 @@ TEST(ParallelScratch, HierarchicalGridRebuildsDoNotAllocateInSteadyState) {
   // small boxes far apart (no contacts ever form, so no Message churn),
   // and two stationary sentinels pin the corners of the coarse-tile
   // bounding box so the dense directory never has to grow mid-window.
-  WorldConfig cfg;
-  cfg.step = 1.0;
-  cfg.duration = 1000.0;
-  cfg.range = 10.0;
-  cfg.bandwidth = 100.0;
-  cfg.priority_cache = false;
-  cfg.occupancy_sample_interval = 1e9;
-  auto w = std::make_unique<World>(cfg);
-  w->set_router(std::make_unique<SprayAndWaitRouter>());
-  w->set_policy(std::make_unique<FifoPolicy>());
-  for (int i = 0; i < 16; ++i) {
-    RandomWalkConfig wc;
-    wc.area = Rect({i * 600.0, 0.0}, {i * 600.0 + 50.0, 50.0});
-    wc.v_min = wc.v_max = 5.0;
-    wc.epoch = 7.0;
-    w->add_node(std::make_unique<RandomWalkModel>(wc, Rng(1000 + i)), 10000);
-  }
-  w->add_node(std::make_unique<StationaryModel>(Vec2{-60.0, -60.0}), 10000);
-  w->add_node(std::make_unique<StationaryModel>(Vec2{9600.0, 120.0}), 10000);
+  // The movers keep the kinetic budget too thin for quiet batching, so
+  // the parallel variant measures the task-graph step itself (dispatch,
+  // tracker shards, merge) rather than the batched fast path.
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    WorldConfig cfg;
+    cfg.step = 1.0;
+    cfg.duration = 1000.0;
+    cfg.range = 10.0;
+    cfg.bandwidth = 100.0;
+    cfg.priority_cache = false;
+    cfg.occupancy_sample_interval = 1e9;
+    cfg.threads = threads;
+    auto w = std::make_unique<World>(cfg);
+    w->set_router(std::make_unique<SprayAndWaitRouter>());
+    w->set_policy(std::make_unique<FifoPolicy>());
+    for (int i = 0; i < 16; ++i) {
+      RandomWalkConfig wc;
+      wc.area = Rect({i * 600.0, 0.0}, {i * 600.0 + 50.0, 50.0});
+      wc.v_min = wc.v_max = 5.0;
+      wc.epoch = 7.0;
+      w->add_node(std::make_unique<RandomWalkModel>(wc, Rng(1000 + i)), 10000);
+    }
+    w->add_node(std::make_unique<StationaryModel>(Vec2{-60.0, -60.0}), 10000);
+    w->add_node(std::make_unique<StationaryModel>(Vec2{9600.0, 120.0}), 10000);
 
-  w->run_until(200.0);  // warm scratch; movers have bounced off every wall
-  ASSERT_TRUE(w->contacts().grid().hierarchical());
-  const std::size_t passes_before = w->contacts().full_pass_count();
-  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
-  w->run_until(400.0);
-  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
-  EXPECT_EQ(after - before, 0u);
-  // The window must actually have exercised the rebuild path.
-  EXPECT_GT(w->contacts().full_pass_count(), passes_before);
-  EXPECT_TRUE(w->contacts().grid().hierarchical());
-  EXPECT_TRUE(w->contacts().current().empty());
+    w->run_until(200.0);  // warm scratch; movers have bounced off every wall
+    ASSERT_TRUE(w->contacts().grid().hierarchical());
+    const std::size_t passes_before = w->contacts().full_pass_count();
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    w->run_until(400.0);
+    const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << "threads=" << threads;
+    // The window must actually have exercised the rebuild path.
+    EXPECT_GT(w->contacts().full_pass_count(), passes_before);
+    EXPECT_TRUE(w->contacts().grid().hierarchical());
+    EXPECT_TRUE(w->contacts().current().empty());
+  }
 #endif  // DTN_NO_ALLOC_COUNTER
 }
 
